@@ -1,0 +1,87 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+These do not correspond to a paper table; they quantify how much each design
+decision of the reproduction matters:
+
+* base-load-aware exact solver vs the paper's literal interval-only BCP,
+* I-Ordering vs a plain density sort vs a random shuffle,
+* X-Stat phase-1 squeeze position (left / middle / right),
+* capacitance-weighted vs unweighted circuit-toggle ranking.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dpfill import dp_fill
+from repro.cubes.generator import CubeSetSpec, generate_cube_set
+from repro.experiments.workloads import build_workload
+from repro.filling.xstat import XStatFill
+from repro.orderings import get_ordering
+from repro.power.estimator import PowerEstimator
+from repro.power.switching import weighted_switching_activity
+
+
+def _ablation_cubes(seed: int = 3):
+    return generate_cube_set(CubeSetSpec(n_pins=120, n_patterns=80, x_fraction=0.8, seed=seed))
+
+
+def test_bench_base_load_aware_vs_literal_bcp(benchmark):
+    """The exact solver can only be equal or better than the literal paper BCP."""
+    cubes = _ablation_cubes()
+    exact = benchmark(lambda: dp_fill(cubes, account_base_toggles=True))
+    literal = dp_fill(cubes, account_base_toggles=False)
+    assert exact.peak_toggles <= literal.peak_toggles
+
+
+def test_bench_ordering_ablation(benchmark):
+    """I-Ordering vs density sort vs random shuffle, all graded by DP-fill."""
+    cubes = _ablation_cubes(seed=11)
+
+    def evaluate_all():
+        peaks = {}
+        for name in ("i-ordering", "density", "random", "tool"):
+            ordered = get_ordering(name).order(cubes).ordered
+            peaks[name] = dp_fill(ordered).peak_toggles
+        return peaks
+
+    peaks = benchmark.pedantic(evaluate_all, rounds=1, iterations=1, warmup_rounds=0)
+    assert peaks["i-ordering"] <= peaks["tool"]
+    assert peaks["i-ordering"] <= peaks["random"] + 2
+
+
+@pytest.mark.parametrize("squeeze", ["left", "middle", "right"])
+def test_bench_xstat_squeeze_sensitivity(benchmark, squeeze):
+    """How sensitive the X-Stat reconstruction is to the phase-1 squeeze position."""
+    cubes = _ablation_cubes(seed=17)
+    outcome = benchmark(lambda: XStatFill(squeeze=squeeze).run(cubes))
+    optimum = dp_fill(cubes).peak_toggles
+    assert outcome.peak_toggles >= optimum
+
+
+def test_bench_capacitance_weighting_ablation(benchmark):
+    """Weighted vs unweighted circuit activity: the technique ranking is
+    computed both ways on one workload to show the weighting does not flip the
+    DP-fill advantage."""
+    workload = build_workload("b08")
+    estimator = PowerEstimator(workload.circuit)
+
+    from repro.experiments.techniques import apply_technique
+
+    def evaluate():
+        tool = apply_technique("Tool", workload.cubes).filled
+        proposed = apply_technique("Proposed", workload.cubes).filled
+        weighted = {
+            "Tool": estimator.estimate(tool).peak_power_uw,
+            "Proposed": estimator.estimate(proposed).peak_power_uw,
+        }
+        unweighted = {
+            "Tool": weighted_switching_activity(workload.circuit, tool).peak_toggles,
+            "Proposed": weighted_switching_activity(workload.circuit, proposed).peak_toggles,
+        }
+        return weighted, unweighted
+
+    weighted, unweighted = benchmark.pedantic(evaluate, rounds=1, iterations=1, warmup_rounds=0)
+    assert weighted["Proposed"] <= weighted["Tool"] * 1.1
+    assert unweighted["Proposed"] <= unweighted["Tool"] * 1.1

@@ -1,0 +1,57 @@
+"""Micro-benchmarks of the core algorithms (no circuits involved).
+
+These are not tied to a specific paper table; they quantify the claimed
+complexities — the ``O(k log k)`` greedy colouring, the ``O(k^2)`` lower
+bound and the end-to-end DP-fill — on synthetic cube sets of increasing size,
+and they back the scalability statement in the README.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bcp import bcp_lower_bound, solve_bcp
+from repro.core.dpfill import dp_fill
+from repro.core.intervals import extract_intervals
+from repro.core.ordering import interleaved_ordering
+from repro.cubes.generator import CubeSetSpec, generate_cube_set
+
+
+def _cube_set(n_pins: int, n_patterns: int, seed: int = 1):
+    return generate_cube_set(
+        CubeSetSpec(n_pins=n_pins, n_patterns=n_patterns, x_fraction=0.8, seed=seed)
+    )
+
+
+@pytest.mark.parametrize("n_pins,n_patterns", [(100, 50), (300, 100), (600, 200)])
+def test_bench_extract_intervals(benchmark, n_pins, n_patterns):
+    cubes = _cube_set(n_pins, n_patterns)
+    result = benchmark(lambda: extract_intervals(cubes))
+    assert result.n_pins == n_pins
+
+
+@pytest.mark.parametrize("n_pins,n_patterns", [(100, 50), (300, 100), (600, 200)])
+def test_bench_bcp_lower_bound(benchmark, n_pins, n_patterns):
+    intervals = extract_intervals(_cube_set(n_pins, n_patterns)).intervals
+    value = benchmark(lambda: bcp_lower_bound(intervals))
+    assert value >= 0
+
+
+@pytest.mark.parametrize("n_pins,n_patterns", [(100, 50), (300, 100), (600, 200)])
+def test_bench_solve_bcp(benchmark, n_pins, n_patterns):
+    intervals = extract_intervals(_cube_set(n_pins, n_patterns)).intervals
+    solution = benchmark(lambda: solve_bcp(intervals))
+    assert solution.peak == solution.lower_bound
+
+
+@pytest.mark.parametrize("n_pins,n_patterns", [(100, 50), (300, 100), (600, 200)])
+def test_bench_dp_fill_end_to_end(benchmark, n_pins, n_patterns):
+    cubes = _cube_set(n_pins, n_patterns)
+    report = benchmark(lambda: dp_fill(cubes))
+    assert report.filled.is_fully_specified()
+
+
+def test_bench_interleaved_ordering(benchmark):
+    cubes = _cube_set(200, 120)
+    result = benchmark(lambda: interleaved_ordering(cubes))
+    assert result.peak is not None

@@ -1,0 +1,16 @@
+"""Benchmark + shape check for the Figure 1 reproduction (greedy vs optimum fill)."""
+
+from __future__ import annotations
+
+from repro.experiments import figure1
+
+
+def test_bench_figure1(benchmark):
+    result = benchmark(figure1.run)
+    # The paper's point: the greedy two-phase fill is strictly beaten by the
+    # optimum on this instance, and DP-fill achieves the optimum.
+    assert result.optimum_peak < result.xstat_peak
+    assert result.gap >= 1
+    # Both fills are complete (no X left in the rendered rows).
+    assert all(set(row) <= {"0", "1"} for row in result.xstat_rows)
+    assert all(set(row) <= {"0", "1"} for row in result.optimum_rows)

@@ -1,0 +1,31 @@
+"""Benchmark + shape check for the Figure 2 reproduction (I-Ordering behaviour)."""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments import figure2
+
+
+def test_bench_figure2(benchmark, workload_names, workloads):
+    result = benchmark.pedantic(
+        lambda: figure2.run(workload_names), rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert len(result.panel_a) == len(workload_names)
+    assert len(result.panel_b) == len(workload_names)
+    assert len(result.panel_c) == 3  # tool, xstat, i-ordering
+
+    # Fig. 2(a): within a trace, peaks improve monotonically until the stop step.
+    for series in result.panel_a:
+        peaks = series.peak_values
+        for before, after in zip(peaks[:-2], peaks[1:-1]):
+            assert after < before
+
+    # Fig. 2(b): the iteration count stays within a generous O(log n) envelope.
+    for point in result.panel_b:
+        assert point.iterations <= 6 * max(math.log2(max(point.n_patterns, 2)), 1.0)
+
+    # Fig. 2(c): the stretch analysis accounts for exactly the X bits of the set,
+    # regardless of ordering (orderings only move X bits around).
+    x_totals = {series.stats.total_x_bits for series in result.panel_c}
+    assert len(x_totals) == 1

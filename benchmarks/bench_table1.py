@@ -1,0 +1,19 @@
+"""Benchmark + shape check for the Table I reproduction (cube X densities)."""
+
+from __future__ import annotations
+
+from repro.experiments import table1
+
+
+def test_bench_table1(benchmark, workload_names):
+    result = benchmark.pedantic(
+        lambda: table1.run(workload_names), rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert len(result.rows) == len(workload_names)
+    # Shape check: cubes really are dominated by don't-cares for the X-rich
+    # profiles (the paper's motivation), and every density is a valid percentage.
+    for row in result.rows:
+        assert 0.0 <= row["X% (measured)"] <= 100.0
+    synthetic_rows = [row for row in result.rows if row["cube source"] == "synthetic"]
+    for row in synthetic_rows:
+        assert abs(row["X% (measured)"] - row["X% (paper)"]) <= 12.0

@@ -1,0 +1,18 @@
+"""Benchmark + shape check for Table II (tool ordering x fill methods)."""
+
+from __future__ import annotations
+
+from repro.experiments import table2
+from repro.experiments.fill_sweep import FILL_METHODS
+
+
+def test_bench_table2(benchmark, workload_names, workloads):
+    result = benchmark.pedantic(
+        lambda: table2.run(workload_names), rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert [row["circuit"] for row in result.rows] == list(workload_names)
+    for row in result.rows:
+        values = {method: row[method] for method in FILL_METHODS}
+        # DP-fill is optimal for the fixed ordering: it must be the row minimum.
+        assert values["DP-fill"] == min(values.values()), row
+        assert all(v >= 0 for v in values.values())

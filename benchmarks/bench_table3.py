@@ -1,0 +1,28 @@
+"""Benchmark + shape check for Table III (X-Stat ordering x fill methods)."""
+
+from __future__ import annotations
+
+from repro.experiments import table2, table3
+from repro.experiments.fill_sweep import FILL_METHODS
+
+
+def test_bench_table3(benchmark, workload_names, workloads):
+    result = benchmark.pedantic(
+        lambda: table3.run(workload_names), rounds=1, iterations=1, warmup_rounds=0
+    )
+    for row in result.rows:
+        values = {method: row[method] for method in FILL_METHODS}
+        assert values["DP-fill"] == min(values.values()), row
+
+
+def test_bench_xstat_ordering_helps_dpfill(benchmark, workload_names, workloads):
+    """Shape check across tables: for most circuits the X-Stat ordering does
+    not hurt DP-fill compared with the raw tool ordering (the paper's Tables
+    II vs III trend), measured on the aggregate."""
+    tool = table2.run(workload_names)
+    xstat = benchmark.pedantic(
+        lambda: table3.run(workload_names), rounds=1, iterations=1, warmup_rounds=0
+    )
+    tool_total = sum(row["DP-fill"] for row in tool.rows)
+    xstat_total = sum(row["DP-fill"] for row in xstat.rows)
+    assert xstat_total <= 1.25 * tool_total

@@ -1,0 +1,28 @@
+"""Benchmark + shape check for Table IV (I-Ordering x fill methods)."""
+
+from __future__ import annotations
+
+from repro.experiments import table2, table4
+from repro.experiments.fill_sweep import FILL_METHODS
+
+
+def test_bench_table4(benchmark, workload_names, workloads):
+    result = benchmark.pedantic(
+        lambda: table4.run(workload_names), rounds=1, iterations=1, warmup_rounds=0
+    )
+    for row in result.rows:
+        values = {method: row[method] for method in FILL_METHODS}
+        assert values["DP-fill"] == min(values.values()), row
+
+
+def test_bench_iordering_beats_tool_ordering_for_dpfill(benchmark, workload_names, workloads):
+    """The headline Table IV trend: I-Ordering + DP-fill is at least as good
+    as tool ordering + DP-fill on every circuit (the I-Ordering search always
+    has the option of rejecting the interleave, so per-circuit regressions can
+    only come from evaluation noise — there is none here)."""
+    tool = table2.run(workload_names)
+    iord = benchmark.pedantic(
+        lambda: table4.run(workload_names), rounds=1, iterations=1, warmup_rounds=0
+    )
+    for tool_row, iord_row in zip(tool.rows, iord.rows):
+        assert iord_row["DP-fill"] <= tool_row["DP-fill"], tool_row["circuit"]

@@ -1,0 +1,43 @@
+"""Benchmark + shape check for Table V (proposed vs existing techniques, peak toggles)."""
+
+from __future__ import annotations
+
+from repro.experiments import table5
+from repro.experiments.techniques import TECHNIQUES
+
+
+def test_bench_table5(benchmark, workload_names, workloads):
+    result = benchmark.pedantic(
+        lambda: table5.run(workload_names), rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert len(result.rows) == len(workload_names)
+    for row in result.rows:
+        for technique in TECHNIQUES:
+            assert row[technique] >= 0
+
+    # Headline shape checks mirroring the paper's conclusions:
+    # 1) the proposed combination is never worse than the tool baseline,
+    for row in result.rows:
+        assert row["Proposed"] <= row["Tool"], row["circuit"]
+    # 2) and on aggregate it beats every existing technique family.
+    totals = {t: sum(row[t] for row in result.rows) for t in TECHNIQUES}
+    assert totals["Proposed"] <= min(totals["Tool"], totals["ISA"], totals["Adj-fill"], totals["XStat"])
+
+
+def test_bench_improvement_grows_with_size(benchmark, workload_names, workloads):
+    """The paper's size trend: the % improvement over the tool baseline for the
+    largest circuit in the set is at least that of the smallest circuit."""
+    result = benchmark.pedantic(
+        lambda: table5.run(workload_names), rounds=1, iterations=1, warmup_rounds=0
+    )
+    rows = {row["circuit"]: row for row in result.rows}
+    sized = sorted(
+        workloads, key=lambda w: w.circuit.n_test_pins * max(len(w.cubes), 1)
+    )
+    smallest, largest = rows[sized[0].name], rows[sized[-1].name]
+
+    def improvement(row):
+        value = row["%impr Tool"]
+        return -1e9 if value is None else value
+
+    assert improvement(largest) >= improvement(smallest) - 5.0

@@ -1,0 +1,28 @@
+"""Benchmark + shape check for Table VI (peak capture power per technique)."""
+
+from __future__ import annotations
+
+from repro.experiments import table6
+from repro.experiments.techniques import TECHNIQUES
+
+
+def test_bench_table6(benchmark, workload_names, workloads):
+    result = benchmark.pedantic(
+        lambda: table6.run(workload_names), rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert len(result.rows) == len(workload_names)
+
+    power_columns = [f"{t} (uW)" for t in TECHNIQUES]
+    for row in result.rows:
+        for column in power_columns:
+            assert row[column] >= 0.0
+
+    # Shape checks mirroring the paper's Table VI narrative:
+    # 1) aggregate peak power of the proposed technique beats the tool baseline,
+    totals = {t: sum(row[f"{t} (uW)"] for row in result.rows) for t in TECHNIQUES}
+    assert totals["Proposed"] <= totals["Tool"]
+    # 2) and input toggles correlate positively with circuit power on most
+    #    circuits (the correlation argument the paper borrows from ref. [20]).
+    correlations = [row["input/circuit corr"] for row in result.rows]
+    positive = sum(1 for c in correlations if c > 0.0)
+    assert positive >= len(correlations) / 2

@@ -1,0 +1,40 @@
+"""Shared fixtures for the benchmark harness.
+
+The benchmark suite regenerates every table/figure of the paper on a reduced
+benchmark subset so a full ``pytest benchmarks/ --benchmark-only`` run stays
+in the minutes range.  Set ``REPRO_BENCH_FULL=1`` to benchmark the complete
+default benchmark list instead (and ``REPRO_INCLUDE_LARGE=1`` to add the
+scaled b14-b22 profiles on top).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List
+
+import pytest
+
+from repro.experiments.workloads import build_workloads, default_workload_names
+
+#: Reduced benchmark subset used by default: two PODEM-flow circuits and two
+#: synthetic-cube circuits spanning small to medium sizes.
+BENCH_NAMES: List[str] = ["b01", "b03", "b08", "b04", "b12"]
+
+
+def bench_names() -> List[str]:
+    """Benchmark names the harness runs over."""
+    if os.environ.get("REPRO_BENCH_FULL", "0") not in ("0", "", "false", "False"):
+        return default_workload_names()
+    return list(BENCH_NAMES)
+
+
+@pytest.fixture(scope="session")
+def workload_names() -> List[str]:
+    """Benchmark names for this session."""
+    return bench_names()
+
+
+@pytest.fixture(scope="session")
+def workloads(workload_names):
+    """Prebuilt workloads (cached) so the benchmarked callables exclude ATPG time."""
+    return build_workloads(workload_names)

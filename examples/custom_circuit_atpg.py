@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Bring your own netlist: parse a .bench file, run ATPG, fill, and verify.
+
+This example shows the library on a user-supplied circuit instead of the
+built-in benchmark profiles:
+
+1. parse an ISCAS-style ``.bench`` netlist (embedded below — a small
+   sequential design with three flip-flops),
+2. collapse the stuck-at fault list and generate cubes with PODEM,
+3. fill the cubes with DP-fill,
+4. prove with the fault simulator that the filled, reordered patterns detect
+   every fault the original cubes targeted,
+5. write the circuit back out as ``.bench`` text (round-trip check).
+
+Run with ``python examples/custom_circuit_atpg.py``.
+"""
+
+from __future__ import annotations
+
+from repro.atpg import FaultSimulator, collapse_faults, full_fault_list, generate_test_cubes
+from repro.circuit import parse_bench, write_bench
+from repro.core.dpfill import dp_fill
+from repro.core.ordering import interleaved_ordering
+
+BENCH_TEXT = """
+# tiny_ctrl: a small controller with 3 state bits
+INPUT(start)
+INPUT(mode)
+INPUT(din)
+OUTPUT(done)
+OUTPUT(busy)
+
+n_idle = NOR(start, s1)
+step   = AND(s0, mode)
+n_s0   = OR(start, step)
+feed   = XOR(din, s2)
+n_s1   = AND(n_s0, feed)
+n_s2   = NAND(s1, feed)
+done   = AND(s1, s2)
+busy   = OR(s0, n_idle)
+
+s0 = DFF(n_s0)
+s1 = DFF(n_s1)
+s2 = DFF(n_s2)
+"""
+
+
+def main() -> None:
+    # 1. Parse and inspect the netlist.
+    circuit = parse_bench(BENCH_TEXT, name="tiny_ctrl")
+    stats = circuit.stats()
+    print(f"parsed {circuit.name}: {stats['gates']} gates, {stats['flip_flops']} flip-flops, "
+          f"{stats['primary_inputs']} PIs, depth {stats['depth']}")
+    print(f"test pins (PIs + scan cells): {circuit.combinational_inputs}")
+
+    # 2. Fault universe and ATPG.
+    universe = full_fault_list(circuit)
+    collapsed = collapse_faults(circuit)
+    print(f"\nfault universe: {len(universe)} stuck-at faults, {len(collapsed)} after collapsing")
+    atpg = generate_test_cubes(circuit)
+    print(f"PODEM generated {len(atpg.cubes)} cubes, fault coverage "
+          f"{100 * atpg.fault_coverage:.1f}%, X density {atpg.x_percent:.1f}%")
+    for cube, name in zip(atpg.cubes.to_strings(), atpg.cubes.names):
+        print(f"  {cube}   # targets {name}")
+
+    # 3. Order + fill.
+    ordered = interleaved_ordering(atpg.cubes).ordered
+    report = dp_fill(ordered)
+    print(f"\nI-Ordering + DP-fill: peak input toggles {report.peak_toggles} "
+          f"(lower bound {report.lower_bound})")
+
+    # 4. Coverage is preserved by construction (filling only assigns X bits);
+    #    demonstrate it explicitly with the fault simulator.
+    simulator = FaultSimulator(circuit)
+    before = simulator.run(report.filled, collapsed)
+    print(f"filled pattern set still detects {before.detected_count}/{len(collapsed)} "
+          f"collapsed faults ({100 * before.coverage:.1f}% coverage)")
+
+    # 5. Round-trip the netlist.
+    regenerated = parse_bench(write_bench(circuit), name=circuit.name)
+    assert regenerated.n_gates == circuit.n_gates
+    assert regenerated.combinational_inputs == circuit.combinational_inputs
+    print("\n.bench round-trip: OK")
+
+
+if __name__ == "__main__":
+    main()

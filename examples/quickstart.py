@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Quickstart: optimally fill a small test-cube set with DP-fill.
+
+This example walks the paper's core idea end to end on a hand-sized instance:
+
+1. build a partially specified cube set (the kind an ATPG tool emits),
+2. compare the classic fills (0/1/random/MT/adjacent/X-Stat) on peak toggles,
+3. run DP-fill and show that it meets its proved lower bound,
+4. run the I-Ordering search and show the extra head-room an ordering buys.
+
+Run with ``python examples/quickstart.py``.
+"""
+
+from __future__ import annotations
+
+from repro import TestSet, dp_fill, interleaved_ordering, peak_toggles, toggle_profile
+from repro.filling import available_fillers, get_filler
+
+
+def main() -> None:
+    # A cube set with 10 patterns over 12 pins; X marks the don't-cares the
+    # ATPG left unconstrained.  Ordering matters: these are applied in order.
+    cubes = TestSet.from_strings(
+        [
+            "0XX1XXXX10XX",
+            "1XXXXX0X1XXX",
+            "XX01XXXX1XX0",
+            "0XXXX11XXXX1",
+            "XX1XXXX0XXX1",
+            "1X0XXXXXXX0X",
+            "XXX0X1XXXX11",
+            "0XXXXXX10XXX",
+            "X1XXX0XXXX0X",
+            "XX1X0XXXXXX0",
+        ]
+    )
+    print(f"cube set: {len(cubes)} patterns x {cubes.n_pins} pins, "
+          f"{100 * cubes.x_fraction:.0f}% don't-cares\n")
+
+    print("peak input toggles by X-filling method (generation order):")
+    for name in ("0-fill", "1-fill", "R-fill", "MT-fill", "Adj-fill", "B-fill"):
+        outcome = get_filler(name).run(cubes)
+        print(f"  {name:>8}: peak={outcome.peak_toggles:2d}  total={outcome.total_toggles}")
+
+    report = dp_fill(cubes)
+    print(f"  {'DP-fill':>8}: peak={report.peak_toggles:2d}  total={sum(report.boundary_profile)}")
+    print(f"\nDP-fill certificate: achieved peak {report.peak_toggles} == proved lower bound "
+          f"{report.lower_bound} (optimal for this ordering)")
+    print(f"unavoidable toggles at the worst boundary (base peak): {report.base_peak}")
+    print("filled patterns:")
+    for row in report.filled.to_strings():
+        print(f"  {row}")
+
+    ordering = interleaved_ordering(cubes)
+    reordered = dp_fill(ordering.ordered)
+    print(f"\nI-Ordering: tried k = {[step.k for step in ordering.trace]}, "
+          f"best interleave k = {ordering.best_k}")
+    print(f"I-Ordering + DP-fill peak: {reordered.peak_toggles} "
+          f"(vs {report.peak_toggles} with the original order)")
+    profile = [int(v) for v in toggle_profile(reordered.filled)]
+    print(f"boundary profile after ordering + fill: {profile}")
+
+    print(f"\nregistered fillers: {', '.join(available_fillers())}")
+
+
+if __name__ == "__main__":
+    main()

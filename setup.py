@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The project is fully described by ``pyproject.toml``; this file exists only so
+that ``pip install -e .`` works in offline environments whose setuptools lacks
+the ``wheel`` package required for PEP 660 editable wheels.
+"""
+
+from setuptools import setup
+
+setup()

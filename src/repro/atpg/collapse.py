@@ -1,0 +1,113 @@
+"""Structural equivalence fault collapsing.
+
+Two faults are equivalent when every test for one detects the other; keeping
+one representative per equivalence class shrinks the ATPG workload without
+changing coverage.  The classic gate-local rules are applied, restricted to
+gate inputs that do not fan out (a fanout stem fault is not equivalent to a
+fault seen through only one of its branches):
+
+==========  ==========================================================
+gate        equivalence
+==========  ==========================================================
+AND         output sa0  ≡  each (fanout-free) input sa0
+NAND        output sa1  ≡  each (fanout-free) input sa0
+OR          output sa1  ≡  each (fanout-free) input sa1
+NOR         output sa0  ≡  each (fanout-free) input sa1
+NOT / BUF   both output faults ≡ the corresponding input faults
+==========  ==========================================================
+
+The implementation is a union–find over (net, value) pairs; the returned
+representatives are the lexicographically smallest member of each class so
+the result is deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.atpg.faults import StuckAtFault, full_fault_list
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit
+from repro.cubes.bits import ONE, ZERO
+
+FaultKey = Tuple[str, int]
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self._parent: Dict[FaultKey, FaultKey] = {}
+
+    def find(self, key: FaultKey) -> FaultKey:
+        parent = self._parent.setdefault(key, key)
+        if parent == key:
+            return key
+        root = self.find(parent)
+        self._parent[key] = root
+        return root
+
+    def union(self, a: FaultKey, b: FaultKey) -> None:
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a == root_b:
+            return
+        # Keep the lexicographically smaller root for determinism.
+        if root_b < root_a:
+            root_a, root_b = root_b, root_a
+        self._parent[root_b] = root_a
+
+
+def collapse_faults(
+    circuit: Circuit,
+    faults: Sequence[StuckAtFault] = (),
+) -> List[StuckAtFault]:
+    """Collapse a fault list into equivalence-class representatives.
+
+    Args:
+        circuit: the circuit the faults live on.
+        faults: the fault list to collapse; defaults to the full stem fault
+            universe of the circuit.
+
+    Returns:
+        One representative :class:`StuckAtFault` per equivalence class, in
+        deterministic (sorted) order.
+    """
+    fault_list = list(faults) if faults else full_fault_list(circuit)
+    fanout_counts = circuit.fanout_counts()
+    uf = _UnionFind()
+
+    for gate in circuit.gates.values():
+        if gate.gate_type.is_sequential or gate.gate_type.is_source:
+            continue
+        out = gate.output
+        for net in gate.inputs:
+            if fanout_counts.get(net, 0) != 1:
+                continue
+            if gate.gate_type is GateType.AND:
+                uf.union((out, ZERO), (net, ZERO))
+            elif gate.gate_type is GateType.NAND:
+                uf.union((out, ONE), (net, ZERO))
+            elif gate.gate_type is GateType.OR:
+                uf.union((out, ONE), (net, ONE))
+            elif gate.gate_type is GateType.NOR:
+                uf.union((out, ZERO), (net, ONE))
+            elif gate.gate_type is GateType.BUF:
+                uf.union((out, ZERO), (net, ZERO))
+                uf.union((out, ONE), (net, ONE))
+            elif gate.gate_type is GateType.NOT:
+                uf.union((out, ZERO), (net, ONE))
+                uf.union((out, ONE), (net, ZERO))
+
+    representatives: Dict[FaultKey, StuckAtFault] = {}
+    for fault in fault_list:
+        root = uf.find((fault.net, fault.stuck_value))
+        current = representatives.get(root)
+        if current is None or (fault.net, fault.stuck_value) < (current.net, current.stuck_value):
+            representatives[root] = fault
+    return sorted(representatives.values())
+
+
+def collapse_ratio(circuit: Circuit) -> float:
+    """Fraction of the full fault universe that survives collapsing."""
+    full = full_fault_list(circuit)
+    if not full:
+        return 1.0
+    return len(collapse_faults(circuit, full)) / len(full)

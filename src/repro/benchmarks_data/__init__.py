@@ -1,0 +1,34 @@
+"""Benchmark profiles and the paper's reported numbers.
+
+``profiles`` captures Table I of the paper (circuit sizes and cube X
+densities) and is what the workload builder uses to synthesise ITC'99-sized
+stand-in circuits.  ``paper_results`` stores the numbers reported in
+Tables II–VI so the experiment harness can print paper-vs-measured
+comparisons and EXPERIMENTS.md can be regenerated from code.
+"""
+
+from repro.benchmarks_data.paper_results import (
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    PAPER_TABLE5,
+    PAPER_TABLE6,
+)
+from repro.benchmarks_data.profiles import (
+    BenchmarkProfile,
+    all_profiles,
+    default_benchmark_names,
+    get_profile,
+)
+
+__all__ = [
+    "BenchmarkProfile",
+    "get_profile",
+    "all_profiles",
+    "default_benchmark_names",
+    "PAPER_TABLE2",
+    "PAPER_TABLE3",
+    "PAPER_TABLE4",
+    "PAPER_TABLE5",
+    "PAPER_TABLE6",
+]

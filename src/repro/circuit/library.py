@@ -1,0 +1,146 @@
+"""Reference circuits: hand-written designs and ITC'99-profile stand-ins.
+
+The hand-written circuits serve three purposes: they make unit tests
+readable (known truth tables, known fault behaviour), they give the examples
+something concrete to run, and they document the netlist API by example.
+``itc99_like`` builds a synthetic circuit whose size matches a Table I
+profile, optionally scaled down so the pure-Python flow stays fast.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.benchmarks_data.profiles import get_profile
+from repro.circuit.gates import GateType
+from repro.circuit.generator import CircuitSpec, generate_circuit, scaled_spec
+from repro.circuit.netlist import Circuit
+
+
+def c17() -> Circuit:
+    """The ISCAS-85 c17 benchmark: 5 inputs, 2 outputs, 6 NAND gates.
+
+    Small enough to reason about by hand, large enough to have reconvergent
+    fan-out — the classic smoke test for ATPG implementations.
+    """
+    circuit = Circuit(name="c17")
+    for net in ("G1", "G2", "G3", "G6", "G7"):
+        circuit.add_input(net)
+    circuit.add_gate("G10", GateType.NAND, ["G1", "G3"])
+    circuit.add_gate("G11", GateType.NAND, ["G3", "G6"])
+    circuit.add_gate("G16", GateType.NAND, ["G2", "G11"])
+    circuit.add_gate("G19", GateType.NAND, ["G11", "G7"])
+    circuit.add_gate("G22", GateType.NAND, ["G10", "G16"])
+    circuit.add_gate("G23", GateType.NAND, ["G16", "G19"])
+    circuit.add_output("G22")
+    circuit.add_output("G23")
+    circuit.validate()
+    return circuit
+
+
+def b01_like_fsm() -> Circuit:
+    """A small Moore FSM in the spirit of ITC'99 b01 (2 inputs, 5 flip-flops).
+
+    The state registers compare two serial input streams; the design mixes
+    AND/OR/XOR logic with state feedback, giving the scan flow a realistic
+    miniature target.
+    """
+    circuit = Circuit(name="b01_like")
+    circuit.add_input("line1")
+    circuit.add_input("line2")
+
+    # Current state (flip-flop outputs are implicit sources s0..s2, outf, overflw).
+    circuit.add_gate("eq", GateType.XNOR, ["line1", "line2"])
+    circuit.add_gate("diff", GateType.XOR, ["line1", "line2"])
+    circuit.add_gate("n_s0", GateType.XOR, ["s0", "diff"])
+    circuit.add_gate("carry", GateType.AND, ["s0", "diff"])
+    circuit.add_gate("n_s1", GateType.XOR, ["s1", "carry"])
+    circuit.add_gate("carry2", GateType.AND, ["s1", "carry"])
+    circuit.add_gate("n_s2", GateType.OR, ["s2", "carry2"])
+    circuit.add_gate("outf_next", GateType.AND, ["eq", "n_s0"])
+    circuit.add_gate("ovf_next", GateType.OR, ["carry2", "overflw"])
+
+    circuit.add_gate("s0", GateType.DFF, ["n_s0"])
+    circuit.add_gate("s1", GateType.DFF, ["n_s1"])
+    circuit.add_gate("s2", GateType.DFF, ["n_s2"])
+    circuit.add_gate("outf", GateType.DFF, ["outf_next"])
+    circuit.add_gate("overflw", GateType.DFF, ["ovf_next"])
+
+    circuit.add_output("outf")
+    circuit.add_output("overflw")
+    circuit.validate()
+    return circuit
+
+
+def ripple_counter(width: int = 4) -> Circuit:
+    """An n-bit synchronous counter with enable: XOR/AND carry chain into DFFs."""
+    if width < 1:
+        raise ValueError("width must be at least 1")
+    circuit = Circuit(name=f"counter{width}")
+    circuit.add_input("enable")
+    carry = "enable"
+    for bit in range(width):
+        q = f"q{bit}"
+        circuit.add_gate(f"sum{bit}", GateType.XOR, [q, carry])
+        if bit < width - 1:
+            circuit.add_gate(f"carry{bit}", GateType.AND, [q, carry])
+            carry = f"carry{bit}"
+        circuit.add_gate(q, GateType.DFF, [f"sum{bit}"])
+    circuit.add_output(f"q{width - 1}")
+    circuit.validate()
+    return circuit
+
+
+def toy_pipeline(stages: int = 3, width: int = 4) -> Circuit:
+    """A small registered datapath: ``stages`` register stages of ``width`` bits
+    with a layer of mixing logic between consecutive stages."""
+    if stages < 1 or width < 2:
+        raise ValueError("need at least one stage and two bits")
+    circuit = Circuit(name=f"pipe{stages}x{width}")
+    for bit in range(width):
+        circuit.add_input(f"in{bit}")
+    previous = [f"in{bit}" for bit in range(width)]
+    for stage in range(stages):
+        mixed = []
+        for bit in range(width):
+            left = previous[bit]
+            right = previous[(bit + 1) % width]
+            name = f"mix_{stage}_{bit}"
+            gate_type = GateType.XOR if bit % 2 == 0 else GateType.NAND
+            circuit.add_gate(name, gate_type, [left, right])
+            mixed.append(name)
+        registered = []
+        for bit, net in enumerate(mixed):
+            reg = f"r_{stage}_{bit}"
+            circuit.add_gate(reg, GateType.DFF, [net])
+            registered.append(reg)
+        previous = registered
+    for bit, net in enumerate(previous):
+        circuit.add_output(net)
+    circuit.validate()
+    return circuit
+
+
+def itc99_like(name: str, scale: Optional[float] = None, seed: int = 0) -> Circuit:
+    """Build a synthetic circuit matching an ITC'99 profile from Table I.
+
+    Args:
+        name: benchmark name (``b01`` ... ``b22``).
+        scale: optional down-scaling factor applied to the published size;
+            defaults to 1.0 for the small benchmarks and is typically set by
+            the workload builder for the large ones.
+        seed: generator seed (defaults to a stable per-benchmark value).
+    """
+    profile = get_profile(name)
+    factor = 1.0 if scale is None else scale
+    # Stable per-benchmark default seed (hash() is randomised per process).
+    default_seed = sum(ord(c) * (i + 1) for i, c in enumerate(profile.name))
+    spec = scaled_spec(
+        name=profile.name if factor == 1.0 else f"{profile.name}_s{factor:g}",
+        n_primary_inputs=profile.primary_inputs,
+        n_flip_flops=profile.flip_flops,
+        n_gates=profile.gates,
+        scale=factor,
+        seed=seed or default_seed,
+    )
+    return generate_circuit(spec)

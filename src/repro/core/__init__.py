@@ -1,0 +1,46 @@
+"""The paper's primary contribution: DP-fill and I-Ordering.
+
+The package is organised exactly along the paper's sections:
+
+``intervals``
+    Section V-C — preprocessing of the pin matrix and extraction of the
+    toggle intervals that form the Bottleneck Coloring Problem instance.
+``bcp``
+    Section VI-A/B — the dynamic-programming lower bound (Algorithm 1), the
+    heap-based greedy colouring (Algorithm 2), and a base-load-aware exact
+    solver for the true peak-input-toggle objective.
+``dpfill``
+    Section V-D — constructing the optimally filled pattern set from the
+    BCP solution.
+``ordering``
+    Section VI-D — the interleaved test-vector ordering (Algorithm 3).
+"""
+
+from repro.core.bcp import (
+    BCPSolution,
+    bcp_lower_bound,
+    greedy_coloring,
+    solve_bcp,
+    solve_weighted_bcp,
+    weighted_lower_bound,
+)
+from repro.core.dpfill import DPFillReport, dp_fill
+from repro.core.intervals import ExtractionResult, ToggleInterval, extract_intervals
+from repro.core.ordering import InterleaveStep, OrderingResult, interleaved_ordering
+
+__all__ = [
+    "ToggleInterval",
+    "ExtractionResult",
+    "extract_intervals",
+    "BCPSolution",
+    "bcp_lower_bound",
+    "weighted_lower_bound",
+    "greedy_coloring",
+    "solve_bcp",
+    "solve_weighted_bcp",
+    "DPFillReport",
+    "dp_fill",
+    "OrderingResult",
+    "InterleaveStep",
+    "interleaved_ordering",
+]

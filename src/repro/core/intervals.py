@@ -1,0 +1,205 @@
+"""Mapping test cubes to Bottleneck Coloring Problem intervals (paper §V-C).
+
+Terminology
+-----------
+The ordered cube set is viewed as the paper's pin-major matrix ``A`` with one
+row per input pin and one column per pattern.  A *boundary* ``j`` is the gap
+between pattern ``j`` and pattern ``j + 1`` (0-based, so a set of ``n``
+patterns has ``n - 1`` boundaries).  The peak-toggle objective is the maximum,
+over boundaries, of the number of rows whose value changes across that
+boundary.
+
+Per row, the specified bits split the pattern axis into stretches:
+
+* ``0 X..X 0`` and ``1 X..X 1`` stretches are filled with the surrounding
+  value during preprocessing — the paper proves an optimal solution exists
+  that does this, because it contributes zero toggles.
+* Leading/trailing X stretches (and all-X rows) are likewise filled with the
+  nearest specified value (or 0 for an all-X row); they can always be made
+  toggle-free.
+* ``0 X..X 1`` and ``1 X..X 0`` stretches must toggle exactly once somewhere
+  inside the stretch.  Each becomes a :class:`ToggleInterval` spanning the
+  boundaries at which that single toggle may be placed.
+* Two adjacent specified bits that differ produce an unavoidable toggle at
+  that boundary; these accumulate into the *base toggle* vector.  The paper's
+  BCP ignores base toggles; the base-load-aware solver in :mod:`repro.core.bcp`
+  uses them to optimise the true objective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.cubes.bits import BIT_DTYPE, ONE, X, ZERO
+from repro.cubes.cube import TestSet
+
+
+@dataclass(frozen=True)
+class ToggleInterval:
+    """One mandatory toggle whose boundary position is still free.
+
+    Attributes:
+        start: first boundary index (inclusive) at which the toggle may occur.
+        end: last boundary index (inclusive).  ``start <= end`` always holds.
+        row: pin-row index the stretch belongs to.
+        left_col: column of the specified bit on the left of the stretch.
+        right_col: column of the specified bit on the right of the stretch.
+        left_value: value (0/1) of the left specified bit.
+        right_value: value of the right specified bit (always ``1 - left_value``).
+    """
+
+    start: int
+    end: int
+    row: int
+    left_col: int
+    right_col: int
+    left_value: int
+    right_value: int
+
+    def __post_init__(self) -> None:
+        if self.start > self.end:
+            raise ValueError(f"interval start {self.start} exceeds end {self.end}")
+        if self.left_value == self.right_value:
+            raise ValueError("a toggle interval must join two differing values")
+
+    @property
+    def length(self) -> int:
+        """Number of candidate boundaries (colours) for this toggle."""
+        return self.end - self.start + 1
+
+
+@dataclass
+class ExtractionResult:
+    """Output of :func:`extract_intervals`.
+
+    Attributes:
+        intervals: the toggle intervals, in row-major discovery order.
+        base_toggles: per-boundary count of unavoidable toggles coming from
+            adjacent specified bits that differ (length ``n_patterns - 1``).
+        prefilled: pin-major matrix with every preprocessing fill applied.
+            The only remaining X bits lie strictly inside toggle intervals.
+        n_patterns: number of patterns (columns of ``prefilled``).
+        n_pins: number of pin rows.
+    """
+
+    intervals: List[ToggleInterval]
+    base_toggles: np.ndarray
+    prefilled: np.ndarray
+    n_patterns: int
+    n_pins: int
+
+    @property
+    def n_boundaries(self) -> int:
+        """Number of pattern boundaries (colours available to the BCP)."""
+        return max(self.n_patterns - 1, 0)
+
+    @property
+    def base_peak(self) -> int:
+        """Largest per-boundary unavoidable toggle count."""
+        return int(self.base_toggles.max()) if self.base_toggles.size else 0
+
+
+def extract_intervals(patterns: TestSet) -> ExtractionResult:
+    """Preprocess a cube set and extract its BCP instance.
+
+    The function implements the preprocessing loop and the interval-creation
+    loop of §V-C verbatim, plus the (implicit in the paper) handling of
+    leading/trailing X runs and all-X rows, which never need to toggle.
+
+    Args:
+        patterns: the *ordered* cube set.  Ordering matters; run an ordering
+            algorithm first if desired.
+
+    Returns:
+        An :class:`ExtractionResult` whose ``prefilled`` matrix contains X
+        bits only inside the returned intervals.
+    """
+    pin = patterns.pin_matrix().astype(BIT_DTYPE)
+    n_pins, n_patterns = pin.shape
+    n_boundaries = max(n_patterns - 1, 0)
+    base = np.zeros(n_boundaries, dtype=np.int64)
+    intervals: List[ToggleInterval] = []
+
+    for row in range(n_pins):
+        bits = pin[row]
+        specified = np.flatnonzero(bits != X)
+        if specified.size == 0:
+            # An all-X row can be held constant; zero is as good as one.
+            bits[:] = ZERO
+            continue
+        first, last = int(specified[0]), int(specified[-1])
+        # Leading and trailing X runs never need to toggle.
+        if first > 0:
+            bits[:first] = bits[first]
+        if last < n_patterns - 1:
+            bits[last + 1 :] = bits[last]
+        for left, right in zip(specified[:-1], specified[1:]):
+            left, right = int(left), int(right)
+            left_value, right_value = int(bits[left]), int(bits[right])
+            if right == left + 1:
+                if left_value != right_value:
+                    base[left] += 1
+                continue
+            if left_value == right_value:
+                # 0X..X0 / 1X..X1: fill with the common value (zero toggles).
+                bits[left + 1 : right] = left_value
+            else:
+                # 0X..X1 / 1X..X0: exactly one toggle, position free in
+                # boundaries [left, right - 1].
+                intervals.append(
+                    ToggleInterval(
+                        start=left,
+                        end=right - 1,
+                        row=row,
+                        left_col=left,
+                        right_col=right,
+                        left_value=left_value,
+                        right_value=right_value,
+                    )
+                )
+
+    return ExtractionResult(
+        intervals=intervals,
+        base_toggles=base,
+        prefilled=pin,
+        n_patterns=n_patterns,
+        n_pins=n_pins,
+    )
+
+
+def apply_assignment(extraction: ExtractionResult, colors: np.ndarray) -> np.ndarray:
+    """Materialise a BCP colour assignment into a fully specified pin matrix.
+
+    For an interval coloured ``j`` the paper's reconstruction (§V-D) keeps the
+    left value up to and including column ``j`` and the right value from
+    column ``j + 1`` onwards.
+
+    Args:
+        extraction: result of :func:`extract_intervals`.
+        colors: one boundary index per interval, in the same order as
+            ``extraction.intervals``.
+
+    Returns:
+        A fully specified pin-major matrix.
+
+    Raises:
+        ValueError: if an assigned colour falls outside its interval, or if
+            any X bit remains after reconstruction.
+    """
+    if len(colors) != len(extraction.intervals):
+        raise ValueError("one colour per interval is required")
+    filled = extraction.prefilled.copy()
+    for interval, color in zip(extraction.intervals, colors):
+        color = int(color)
+        if not interval.start <= color <= interval.end:
+            raise ValueError(
+                f"colour {color} outside interval [{interval.start}, {interval.end}]"
+            )
+        filled[interval.row, interval.left_col : color + 1] = interval.left_value
+        filled[interval.row, color + 1 : interval.right_col] = interval.right_value
+    if (filled == X).any():
+        raise ValueError("reconstruction left unspecified bits behind")
+    return filled

@@ -1,0 +1,72 @@
+"""Tri-valued test-cube substrate.
+
+A *test cube* is a partially specified test pattern: every bit position is
+``0``, ``1`` or ``X`` (don't care).  ATPG tools emit cubes because a target
+fault constrains only a handful of inputs; the remaining positions are left
+unspecified and may be filled freely.  Everything in this reproduction —
+the DP-fill algorithm, the baseline fills, the orderings and the power
+model — consumes and produces the types defined here.
+
+Public API
+----------
+``ZERO`` / ``ONE`` / ``X``
+    Integer bit encodings used throughout the package.
+``TestCube``
+    A single partially specified pattern.
+``TestSet``
+    An ordered sequence of equal-length cubes backed by a NumPy matrix.
+``hamming_distance`` / ``peak_toggles`` / ``toggle_profile``
+    Toggle metrics between adjacent (filled) patterns.
+``x_density`` / ``stretch_histogram`` / ``StretchStats``
+    Don't-care statistics (Table I and Fig. 2(c) of the paper).
+``CubeSetSpec`` / ``generate_cube_set``
+    Synthetic cube-set generator calibrated by X density.
+"""
+
+from repro.cubes.bits import (
+    ONE,
+    X,
+    ZERO,
+    bit_from_char,
+    bit_to_char,
+    bits_from_string,
+    bits_to_string,
+    is_specified,
+)
+from repro.cubes.cube import TestCube, TestSet
+from repro.cubes.generator import CubeSetSpec, generate_cube_set
+from repro.cubes.metrics import (
+    StretchStats,
+    conflict_distance,
+    hamming_distance,
+    peak_toggles,
+    specified_bit_count,
+    stretch_histogram,
+    toggle_profile,
+    total_toggles,
+    x_density,
+)
+
+__all__ = [
+    "ZERO",
+    "ONE",
+    "X",
+    "bit_from_char",
+    "bit_to_char",
+    "bits_from_string",
+    "bits_to_string",
+    "is_specified",
+    "TestCube",
+    "TestSet",
+    "hamming_distance",
+    "conflict_distance",
+    "peak_toggles",
+    "toggle_profile",
+    "total_toggles",
+    "specified_bit_count",
+    "x_density",
+    "stretch_histogram",
+    "StretchStats",
+    "CubeSetSpec",
+    "generate_cube_set",
+]

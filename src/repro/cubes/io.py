@@ -1,0 +1,92 @@
+"""Reading and writing cube sets as plain-text pattern files.
+
+ATPG tools exchange patterns in tool-specific formats (STIL, WGL, ...); this
+module provides a deliberately simple text format so cube sets can move in
+and out of the library — e.g. to fill patterns exported from another flow, or
+to hand DP-filled patterns to a downstream simulator.
+
+Format: one pattern per line, ``0/1/X`` characters, optionally followed by
+``# name`` giving the pattern a label (typically the target fault).  Blank
+lines and full-line comments are ignored.  A header comment records the pin
+count so truncated files are detected on read.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.cubes.cube import TestCube, TestSet
+
+PathLike = Union[str, Path]
+
+
+class PatternFileError(ValueError):
+    """Raised when a pattern file is malformed or inconsistent."""
+
+
+def dumps_patterns(patterns: TestSet, title: str = "repro pattern file") -> str:
+    """Serialise a cube set to pattern-file text."""
+    lines: List[str] = [
+        f"# {title}",
+        f"# pins: {patterns.n_pins}",
+        f"# patterns: {len(patterns)}",
+    ]
+    for cube_string, name in zip(patterns.to_strings(), patterns.names):
+        if name:
+            lines.append(f"{cube_string}  # {name}")
+        else:
+            lines.append(cube_string)
+    lines.append("")
+    return "\n".join(lines)
+
+
+def loads_patterns(text: str) -> TestSet:
+    """Parse pattern-file text back into a :class:`TestSet`.
+
+    Raises:
+        PatternFileError: on malformed lines, inconsistent pattern lengths, or
+            a pin-count header that disagrees with the data.
+    """
+    declared_pins: Optional[int] = None
+    cubes: List[TestCube] = []
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        stripped = raw_line.strip()
+        if not stripped:
+            continue
+        if stripped.startswith("#"):
+            body = stripped.lstrip("#").strip()
+            if body.lower().startswith("pins:"):
+                try:
+                    declared_pins = int(body.split(":", 1)[1])
+                except ValueError:
+                    raise PatternFileError(f"line {line_number}: bad pins header {body!r}") from None
+            continue
+        bits_part, __, comment = stripped.partition("#")
+        name = comment.strip() or None
+        bits_text = bits_part.strip()
+        try:
+            cube = TestCube.from_string(bits_text, name=name)
+        except ValueError as exc:
+            raise PatternFileError(f"line {line_number}: {exc}") from None
+        cubes.append(cube)
+
+    if cubes:
+        lengths = {len(c) for c in cubes}
+        if len(lengths) != 1:
+            raise PatternFileError(f"inconsistent pattern lengths: {sorted(lengths)}")
+        if declared_pins is not None and declared_pins != len(cubes[0]):
+            raise PatternFileError(
+                f"header declares {declared_pins} pins but patterns have {len(cubes[0])}"
+            )
+    return TestSet(cubes)
+
+
+def write_pattern_file(patterns: TestSet, path: PathLike, title: str = "repro pattern file") -> None:
+    """Write a cube set to ``path`` in the pattern-file format."""
+    Path(path).write_text(dumps_patterns(patterns, title=title))
+
+
+def read_pattern_file(path: PathLike) -> TestSet:
+    """Read a cube set from a pattern file on disk."""
+    return loads_patterns(Path(path).read_text())

@@ -1,0 +1,32 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every module exposes ``run(...) -> TableResult`` plus helpers, and
+:mod:`repro.experiments.runner` provides the ``dpfill-experiments`` command
+line entry point that regenerates the whole evaluation and writes a report.
+
+The mapping between paper artefacts and modules is:
+
+=============  ===========================================
+paper          module
+=============  ===========================================
+Table I        :mod:`repro.experiments.table1`
+Fig. 1         :mod:`repro.experiments.figure1`
+Table II       :mod:`repro.experiments.table2`
+Table III      :mod:`repro.experiments.table3`
+Table IV       :mod:`repro.experiments.table4`
+Table V        :mod:`repro.experiments.table5`
+Table VI       :mod:`repro.experiments.table6`
+Fig. 2(a,b,c)  :mod:`repro.experiments.figure2`
+=============  ===========================================
+"""
+
+from repro.experiments.report import TableResult, render_table
+from repro.experiments.workloads import Workload, build_workload, default_workload_names
+
+__all__ = [
+    "TableResult",
+    "render_table",
+    "Workload",
+    "build_workload",
+    "default_workload_names",
+]

@@ -1,0 +1,84 @@
+"""Tabular reporting helpers shared by all experiment modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+Value = Union[int, float, str, None]
+
+
+@dataclass
+class TableResult:
+    """A reproduced table: title, column names and one dict per row.
+
+    Attributes:
+        title: human-readable table title (includes the paper table number).
+        columns: ordered column names; every row dict uses these keys.
+        rows: the data rows.
+        notes: free-form caveats printed under the table (e.g. which workloads
+            used synthetic cubes).
+    """
+
+    title: str
+    columns: List[str]
+    rows: List[Dict[str, Value]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def column(self, name: str) -> List[Value]:
+        """All values of one column, in row order."""
+        return [row.get(name) for row in self.rows]
+
+    def row_for(self, key_column: str, key: Value) -> Optional[Dict[str, Value]]:
+        """First row whose ``key_column`` equals ``key`` (None if absent)."""
+        for row in self.rows:
+            if row.get(key_column) == key:
+                return row
+        return None
+
+
+def _format_value(value: Value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.1f}"
+    return str(value)
+
+
+def render_table(result: TableResult) -> str:
+    """Render a :class:`TableResult` as aligned plain text."""
+    header = list(result.columns)
+    body = [[_format_value(row.get(col)) for col in header] for row in result.rows]
+    widths = [len(col) for col in header]
+    for line in body:
+        for index, cell in enumerate(line):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+
+    lines = [result.title, "=" * len(result.title), render_line(header), render_line(["-" * w for w in widths])]
+    lines.extend(render_line(line) for line in body)
+    for note in result.notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def render_markdown(result: TableResult) -> str:
+    """Render a :class:`TableResult` as a GitHub-flavoured markdown table."""
+    header = "| " + " | ".join(result.columns) + " |"
+    separator = "| " + " | ".join("---" for _ in result.columns) + " |"
+    lines = [f"### {result.title}", "", header, separator]
+    for row in result.rows:
+        lines.append("| " + " | ".join(_format_value(row.get(col)) for col in result.columns) + " |")
+    if result.notes:
+        lines.append("")
+        lines.extend(f"*{note}*" for note in result.notes)
+    return "\n".join(lines)
+
+
+def percent_improvement(baseline: Value, proposed: Value) -> Optional[float]:
+    """Paper-convention percentage improvement, None when undefined."""
+    if baseline in (None, 0) or proposed is None:
+        return None
+    return 100.0 * (float(baseline) - float(proposed)) / float(baseline)

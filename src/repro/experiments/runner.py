@@ -1,0 +1,107 @@
+"""Command-line entry point regenerating every table and figure of the paper.
+
+Installed as ``dpfill-experiments``.  Typical invocations::
+
+    dpfill-experiments                      # all artefacts, default benchmarks
+    dpfill-experiments --artifacts 2,4,5    # only Tables II, IV and V
+    dpfill-experiments --benchmarks b03,b08 # restrict the benchmark set
+    dpfill-experiments --out results.txt    # also write the report to a file
+    REPRO_INCLUDE_LARGE=1 dpfill-experiments  # include scaled b14-b22
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Dict, List, Optional
+
+from repro.experiments import figure1, figure2, table1, table2, table3, table4, table5, table6
+from repro.experiments.report import TableResult, render_table
+from repro.experiments.workloads import default_workload_names
+
+ARTIFACTS = ["1", "fig1", "2", "3", "4", "5", "6", "fig2"]
+
+
+def _collect(artifact: str, names: Optional[List[str]], seed: int) -> List[TableResult]:
+    if artifact == "1":
+        return [table1.run(names, seed=seed)]
+    if artifact == "fig1":
+        return [figure1.as_table(figure1.run())]
+    if artifact == "2":
+        return [table2.run(names, seed=seed)]
+    if artifact == "3":
+        return [table3.run(names, seed=seed)]
+    if artifact == "4":
+        return [table4.run(names, seed=seed)]
+    if artifact == "5":
+        return [table5.run(names, seed=seed)]
+    if artifact == "6":
+        return [table6.run(names, seed=seed)]
+    if artifact == "fig2":
+        return figure2.as_tables(figure2.run(names, seed=seed))
+    raise ValueError(f"unknown artifact {artifact!r}; choose from {ARTIFACTS}")
+
+
+def run_all(
+    artifacts: Optional[List[str]] = None,
+    names: Optional[List[str]] = None,
+    seed: int = 0,
+) -> Dict[str, List[TableResult]]:
+    """Run the requested artefacts and return their tables keyed by artefact id."""
+    results: Dict[str, List[TableResult]] = {}
+    for artifact in artifacts or ARTIFACTS:
+        results[artifact] = _collect(artifact, names, seed)
+    return results
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the command-line parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="dpfill-experiments",
+        description="Regenerate the DP-fill paper's tables and figures on the stand-in workloads.",
+    )
+    parser.add_argument(
+        "--artifacts",
+        default=",".join(ARTIFACTS),
+        help=f"comma-separated artefact ids to run (default: all of {ARTIFACTS})",
+    )
+    parser.add_argument(
+        "--benchmarks",
+        default="",
+        help="comma-separated benchmark names (default: the default benchmark list)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="workload seed (default 0)")
+    parser.add_argument("--out", default="", help="also write the report to this file")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    artifacts = [a.strip() for a in args.artifacts.split(",") if a.strip()]
+    names = [n.strip() for n in args.benchmarks.split(",") if n.strip()] or None
+
+    lines: List[str] = []
+    lines.append("DP-fill reproduction - experiment report")
+    lines.append(f"benchmarks: {names or default_workload_names()}")
+    lines.append("")
+
+    start = time.time()
+    for artifact in artifacts:
+        tables = _collect(artifact, names, args.seed)
+        for table in tables:
+            lines.append(render_table(table))
+            lines.append("")
+    lines.append(f"total runtime: {time.time() - start:.1f} s")
+
+    report = "\n".join(lines)
+    print(report)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(report + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,20 @@
+"""Table III reproduction: peak input toggles under the X-Stat ordering."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.benchmarks_data.paper_results import PAPER_TABLE3
+from repro.experiments.fill_sweep import fill_sweep_table
+from repro.experiments.report import TableResult
+
+
+def run(names: Optional[List[str]] = None, seed: int = 0) -> TableResult:
+    """Reproduce Table III: X-Stat ordering x {MT, R, 0, 1, B, DP}-fill."""
+    return fill_sweep_table(
+        title="Table III - peak input toggles, X-Stat ordering",
+        ordering_name="xstat",
+        names=names,
+        seed=seed,
+        paper_table=PAPER_TABLE3,
+    )

@@ -1,0 +1,20 @@
+"""Table IV reproduction: peak input toggles under the proposed I-Ordering."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.benchmarks_data.paper_results import PAPER_TABLE4
+from repro.experiments.fill_sweep import fill_sweep_table
+from repro.experiments.report import TableResult
+
+
+def run(names: Optional[List[str]] = None, seed: int = 0) -> TableResult:
+    """Reproduce Table IV: I-Ordering x {MT, R, 0, 1, B, DP}-fill."""
+    return fill_sweep_table(
+        title="Table IV - peak input toggles, I-Ordering",
+        ordering_name="i-ordering",
+        names=names,
+        seed=seed,
+        paper_table=PAPER_TABLE4,
+    )

@@ -1,0 +1,48 @@
+"""Table V reproduction: I-Ordering + DP-fill vs the best existing techniques.
+
+For every benchmark the table reports the peak input toggles of each
+technique and the percentage improvement of the proposed combination over
+each existing one (the paper's columns 6-9).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.benchmarks_data.paper_results import PAPER_TABLE5
+from repro.experiments.report import TableResult, percent_improvement
+from repro.experiments.techniques import TECHNIQUES, apply_all_techniques
+from repro.experiments.workloads import build_workloads
+
+COLUMNS = (
+    ["circuit"]
+    + TECHNIQUES
+    + ["%impr Tool", "%impr ISA", "%impr Adj-fill", "%impr XStat", "Proposed (paper)"]
+)
+
+
+def run(names: Optional[List[str]] = None, seed: int = 0) -> TableResult:
+    """Reproduce Table V over the default (or given) benchmarks."""
+    workloads = build_workloads(names, seed=seed)
+    result = TableResult(
+        title="Table V - peak input toggles: proposed vs existing techniques",
+        columns=COLUMNS,
+    )
+    for workload in workloads:
+        outcomes = apply_all_techniques(workload.cubes)
+        row = {"circuit": workload.name}
+        for technique in TECHNIQUES:
+            row[technique] = outcomes[technique].peak_input_toggles
+        proposed = outcomes["Proposed"].peak_input_toggles
+        for baseline in ("Tool", "ISA", "Adj-fill", "XStat"):
+            improvement = percent_improvement(outcomes[baseline].peak_input_toggles, proposed)
+            row[f"%impr {baseline}"] = None if improvement is None else round(improvement, 1)
+        paper_row = PAPER_TABLE5.get(workload.name, {})
+        row["Proposed (paper)"] = paper_row.get("Proposed")
+        result.rows.append(row)
+    result.notes.append(
+        "Tool = tool ordering + best existing fill; ISA = nearest-neighbour ordering + adjacent"
+        " fill; Adj-fill = tool ordering + adjacent fill; XStat = X-Stat ordering + X-Stat fill;"
+        " Proposed = I-Ordering + DP-fill"
+    )
+    return result

@@ -1,0 +1,105 @@
+"""The end-to-end low-power-test techniques compared in Tables V and VI.
+
+A *technique* is an (ordering, filling) pair as the paper frames its final
+comparison:
+
+=============  ========================================================
+column         reconstruction
+=============  ========================================================
+``Tool``       tool ordering + the best of the pre-existing fills
+               (MT / R / 0 / 1 / B), mirroring "minimum peak input
+               toggles obtained among all aforementioned X-filling
+               methods" under the tool ordering
+``ISA``        ISA (Girard-style nearest-neighbour) ordering + adjacent
+               fill, the test-vector-ordering technique of ref. [20]
+``Adj-fill``   tool ordering + adjacent fill, the X-filling technique of
+               ref. [21]
+``XStat``      X-Stat ordering + X-Stat fill, ref. [22]
+``Proposed``   I-Ordering + DP-fill (this paper)
+=============  ========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.cubes.cube import TestSet
+from repro.cubes.metrics import peak_toggles
+from repro.filling import get_filler
+from repro.orderings import get_ordering
+
+#: Technique column order used by Tables V and VI.
+TECHNIQUES: List[str] = ["Tool", "ISA", "Adj-fill", "XStat", "Proposed"]
+
+_EXISTING_FILLS = ["MT-fill", "R-fill", "0-fill", "1-fill", "B-fill"]
+
+
+@dataclass
+class TechniqueOutcome:
+    """A filled, ordered pattern set produced by one technique."""
+
+    technique: str
+    filled: TestSet
+    peak_input_toggles: int
+
+
+def _best_existing_fill(ordered: TestSet) -> TestSet:
+    best: TestSet = None  # type: ignore[assignment]
+    best_peak = None
+    for name in _EXISTING_FILLS:
+        candidate = get_filler(name).fill(ordered)
+        peak = peak_toggles(candidate)
+        if best_peak is None or peak < best_peak:
+            best, best_peak = candidate, peak
+    return best
+
+
+def _tool_technique(cubes: TestSet) -> TestSet:
+    return _best_existing_fill(get_ordering("tool").order(cubes).ordered)
+
+
+def _isa_technique(cubes: TestSet) -> TestSet:
+    ordered = get_ordering("isa").order(cubes).ordered
+    return get_filler("Adj-fill").fill(ordered)
+
+
+def _adjfill_technique(cubes: TestSet) -> TestSet:
+    ordered = get_ordering("tool").order(cubes).ordered
+    return get_filler("Adj-fill").fill(ordered)
+
+
+def _xstat_technique(cubes: TestSet) -> TestSet:
+    ordered = get_ordering("xstat").order(cubes).ordered
+    return get_filler("B-fill").fill(ordered)
+
+
+def _proposed_technique(cubes: TestSet) -> TestSet:
+    ordered = get_ordering("i-ordering").order(cubes).ordered
+    return get_filler("DP-fill").fill(ordered)
+
+
+_TECHNIQUE_BUILDERS: Dict[str, Callable[[TestSet], TestSet]] = {
+    "Tool": _tool_technique,
+    "ISA": _isa_technique,
+    "Adj-fill": _adjfill_technique,
+    "XStat": _xstat_technique,
+    "Proposed": _proposed_technique,
+}
+
+
+def apply_technique(name: str, cubes: TestSet) -> TechniqueOutcome:
+    """Run one technique on a tool-ordered cube set.
+
+    Raises:
+        KeyError: for unknown technique names.
+    """
+    if name not in _TECHNIQUE_BUILDERS:
+        raise KeyError(f"unknown technique {name!r}; available: {TECHNIQUES}")
+    filled = _TECHNIQUE_BUILDERS[name](cubes)
+    return TechniqueOutcome(technique=name, filled=filled, peak_input_toggles=peak_toggles(filled))
+
+
+def apply_all_techniques(cubes: TestSet) -> Dict[str, TechniqueOutcome]:
+    """Run every technique of Tables V/VI on the same cube set."""
+    return {name: apply_technique(name, cubes) for name in TECHNIQUES}

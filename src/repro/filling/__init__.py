@@ -1,0 +1,47 @@
+"""X-filling algorithms.
+
+Every algorithm consumes an ordered, partially specified
+:class:`~repro.cubes.cube.TestSet` and returns a fully specified one with all
+care bits preserved.  The package contains the baselines the paper compares
+against (Tables II–V):
+
+=============  ==================================================================
+name           algorithm
+=============  ==================================================================
+``0-fill``     replace every X with 0
+``1-fill``     replace every X with 1
+``R-fill``     replace every X with a random bit (seeded, reproducible)
+``MT-fill``    minimum-transition fill: copy the nearest earlier specified bit
+               of the *same* cube (minimises scan-shift transitions)
+``Adj-fill``   adjacent fill: copy the same pin of the *previous* pattern
+               (greedy minimisation of capture toggles)
+``B-fill``     the X-Stat two-phase fill of [22] (phase 1 squeezes X stretches
+               down to a single X, phase 2 places each remaining toggle
+               greedily); ``X-Stat`` is an alias
+``DP-fill``    the paper's optimal fill (wraps :func:`repro.core.dpfill.dp_fill`)
+=============  ==================================================================
+
+Use :func:`get_filler` / :func:`available_fillers` to look algorithms up by
+the names used in the paper's tables.
+"""
+
+from repro.filling.base import Filler, FillOutcome, available_fillers, get_filler, register_filler
+from repro.filling.adjfill import AdjacentFill
+from repro.filling.dp import DPFill
+from repro.filling.simple import MinimumTransitionFill, OneFill, RandomFill, ZeroFill
+from repro.filling.xstat import XStatFill
+
+__all__ = [
+    "Filler",
+    "FillOutcome",
+    "get_filler",
+    "register_filler",
+    "available_fillers",
+    "ZeroFill",
+    "OneFill",
+    "RandomFill",
+    "MinimumTransitionFill",
+    "AdjacentFill",
+    "XStatFill",
+    "DPFill",
+]

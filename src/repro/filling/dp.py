@@ -1,0 +1,34 @@
+"""Filler-interface wrapper around the DP-fill core algorithm.
+
+Having DP-fill available through the common :class:`~repro.filling.base.Filler`
+interface lets the experiment harness sweep it alongside the baselines with
+one code path (Tables II–IV iterate a list of filler names per ordering).
+"""
+
+from __future__ import annotations
+
+from repro.core.dpfill import dp_fill
+from repro.cubes.cube import TestSet
+from repro.filling.base import Filler, register_filler
+
+
+class DPFill(Filler):
+    """Optimal X-fill for a given ordering (the paper's contribution).
+
+    Args:
+        account_base_toggles: forwarded to :func:`repro.core.dpfill.dp_fill`;
+            the default ``True`` optimises the true peak-toggle objective,
+            ``False`` reproduces the literal interval-only formulation.
+    """
+
+    name = "DP-fill"
+
+    def __init__(self, account_base_toggles: bool = True) -> None:
+        self.account_base_toggles = account_base_toggles
+
+    def fill(self, patterns: TestSet) -> TestSet:
+        report = dp_fill(patterns, account_base_toggles=self.account_base_toggles)
+        return report.filled
+
+
+register_filler("DP-fill", DPFill, aliases=["dp", "dpfill", "optimum-fill"])

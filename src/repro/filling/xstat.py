@@ -1,0 +1,134 @@
+"""Reconstruction of the X-Stat fill (the paper's B-fill columns, ref. [22]).
+
+X-Stat is the strongest pre-existing heuristic the paper compares against
+(it is the ``B-fill`` column of Tables II–IV and the ``XStat`` column of
+Tables V–VI).  The original paper is not open source; this reconstruction
+follows the description given in §III and Fig. 1 of the DP-fill paper:
+
+* **Phase 1** — adjacent-fill each don't-care stretch of the pin matrix so
+  that ``0 X..X 1`` / ``1 X..X 0`` stretches shrink to a single remaining X
+  (``0 X 1`` / ``1 X 0``), and ``0 X..X 0`` / ``1 X..X 1`` stretches are
+  filled completely.  The position of the surviving X inside the stretch is a
+  free parameter of the reconstruction (:attr:`XStatFill.squeeze`); the
+  greedy nature of this phase is exactly what makes X-Stat sub-optimal in
+  Fig. 1, and the ablation benchmark sweeps the choice.
+* **Phase 2** — each surviving X is a binary choice between placing its
+  toggle at the boundary on its left or on its right.  The choices are
+  resolved greedily against the running per-boundary toggle profile, most
+  constrained (highest surrounding load) first.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.cubes.bits import BIT_DTYPE, X, ZERO
+from repro.cubes.cube import TestSet
+from repro.filling.base import Filler, register_filler
+
+_SQUEEZE_MODES = ("middle", "left", "right")
+
+
+class XStatFill(Filler):
+    """Two-phase statistical X-fill (reconstruction of X-Stat / B-fill).
+
+    Args:
+        squeeze: where phase 1 leaves the surviving X of a ``0X..X1`` stretch —
+            ``"middle"`` (default), ``"left"`` (right after the left care
+            bit) or ``"right"`` (right before the right care bit).
+    """
+
+    name = "B-fill"
+
+    def __init__(self, squeeze: str = "middle") -> None:
+        if squeeze not in _SQUEEZE_MODES:
+            raise ValueError(f"squeeze must be one of {_SQUEEZE_MODES}")
+        self.squeeze = squeeze
+
+    # -- phase 1 -------------------------------------------------------------
+    def _squeeze_position(self, left: int, right: int) -> int:
+        """Column index of the X that survives phase 1 for a gap (left, right)."""
+        if self.squeeze == "left":
+            return left + 1
+        if self.squeeze == "right":
+            return right - 1
+        return (left + right) // 2
+
+    def _phase1(self, pin: np.ndarray) -> List[Tuple[int, int, int, int]]:
+        """Shrink every stretch; return the surviving binary choices.
+
+        Each returned tuple is ``(row, x_col, left_value, right_value)`` for a
+        surviving X at ``x_col`` whose neighbours are already specified.
+        """
+        n_pins, n_patterns = pin.shape
+        choices: List[Tuple[int, int, int, int]] = []
+        for row in range(n_pins):
+            bits = pin[row]
+            specified = np.flatnonzero(bits != X)
+            if specified.size == 0:
+                bits[:] = ZERO
+                continue
+            first, last = int(specified[0]), int(specified[-1])
+            bits[:first] = bits[first]
+            bits[last + 1 :] = bits[last]
+            for left, right in zip(specified[:-1], specified[1:]):
+                left, right = int(left), int(right)
+                if right == left + 1:
+                    continue
+                left_value, right_value = int(bits[left]), int(bits[right])
+                if left_value == right_value:
+                    bits[left + 1 : right] = left_value
+                    continue
+                keep = self._squeeze_position(left, right)
+                bits[left + 1 : keep] = left_value
+                bits[keep + 1 : right] = right_value
+                choices.append((row, keep, left_value, right_value))
+        return choices
+
+    # -- phase 2 ----------------------------------------------------------------
+    @staticmethod
+    def _base_profile(pin: np.ndarray) -> np.ndarray:
+        """Per-boundary toggles among the bits already specified after phase 1."""
+        n_patterns = pin.shape[1]
+        if n_patterns < 2:
+            return np.zeros(0, dtype=np.int64)
+        left, right = pin[:, :-1], pin[:, 1:]
+        fixed = (left != X) & (right != X) & (left != right)
+        return np.count_nonzero(fixed, axis=0).astype(np.int64)
+
+    def _phase2(self, pin: np.ndarray, choices: List[Tuple[int, int, int, int]]) -> None:
+        """Resolve every surviving X greedily against the running profile."""
+        profile = self._base_profile(pin)
+        # Most constrained first: choices whose two candidate boundaries are
+        # already the most loaded are resolved before the flexible ones.
+        def pressure(choice: Tuple[int, int, int, int]) -> int:
+            __, col, __, __ = choice
+            return int(max(profile[col - 1], profile[col]))
+
+        for row, col, left_value, right_value in sorted(choices, key=pressure, reverse=True):
+            load_if_left = profile[col]          # X takes left value -> toggle at boundary col
+            load_if_right = profile[col - 1]     # X takes right value -> toggle at boundary col-1
+            if load_if_left <= load_if_right:
+                pin[row, col] = left_value
+                profile[col] += 1
+            else:
+                pin[row, col] = right_value
+                profile[col - 1] += 1
+
+    # -- driver -----------------------------------------------------------------
+    def fill(self, patterns: TestSet) -> TestSet:
+        pin = patterns.pin_matrix().astype(BIT_DTYPE)
+        if pin.size == 0:
+            return patterns.filled(patterns.matrix.copy())
+        choices = self._phase1(pin)
+        if pin.shape[1] >= 2:
+            self._phase2(pin, choices)
+        else:
+            for row, col, left_value, __ in choices:  # pragma: no cover - defensive
+                pin[row, col] = left_value
+        return patterns.filled(pin.T)
+
+
+register_filler("B-fill", XStatFill, aliases=["x-stat", "xstat", "xstat-fill", "b"])

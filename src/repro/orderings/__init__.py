@@ -1,0 +1,40 @@
+"""Test-vector ordering algorithms.
+
+An ordering permutes a cube set before filling; because the peak-toggle
+objective is defined over adjacent patterns, the ordering determines how much
+an X-fill can achieve.  The package provides the orderings used in the
+paper's evaluation:
+
+=================  =============================================================
+name               algorithm
+=================  =============================================================
+``tool``           the ATPG generation order (what a commercial tool emits)
+``isa``            greedy nearest-neighbour ordering on the unavoidable-conflict
+                   distance (reconstruction of the ISA / Girard ordering [20])
+``xstat``          greedy nearest-neighbour ordering on the expected toggle
+                   distance with X treated statistically (reconstruction of the
+                   X-Stat ordering [22])
+``i-ordering``     the paper's interleaved ordering (Algorithm 3)
+``density``        plain sort by don't-care count (ablation reference)
+``random``         seeded random permutation (ablation reference)
+=================  =============================================================
+"""
+
+from repro.orderings.base import Ordering, available_orderings, get_ordering, register_ordering
+from repro.orderings.interleaved import InterleavedOrdering
+from repro.orderings.isa import ISAOrdering
+from repro.orderings.simple import DensityOrdering, RandomOrdering, ToolOrdering
+from repro.orderings.xstat_ordering import XStatOrdering
+
+__all__ = [
+    "Ordering",
+    "get_ordering",
+    "register_ordering",
+    "available_orderings",
+    "ToolOrdering",
+    "DensityOrdering",
+    "RandomOrdering",
+    "ISAOrdering",
+    "XStatOrdering",
+    "InterleavedOrdering",
+]

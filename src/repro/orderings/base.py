@@ -1,0 +1,68 @@
+"""Common interface and registry for test-vector orderings."""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict, List, Optional
+
+from repro.core.ordering import OrderingResult
+from repro.cubes.cube import TestSet
+
+
+class Ordering(abc.ABC):
+    """Base class for ordering algorithms.
+
+    Subclasses implement :meth:`order`, returning an
+    :class:`~repro.core.ordering.OrderingResult` whose ``permutation`` indexes
+    into the input set.  Orderings must not modify cube contents — only the
+    sequence.
+    """
+
+    #: canonical name used by the experiment harness (e.g. ``"i-ordering"``).
+    name: str = "ordering"
+
+    @abc.abstractmethod
+    def order(self, patterns: TestSet) -> OrderingResult:
+        """Return the reordered set and the permutation that produced it."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+_REGISTRY: Dict[str, Callable[[], Ordering]] = {}
+
+
+def _canonical(name: str) -> str:
+    return name.strip().lower().replace("_", "-").replace(" ", "-")
+
+
+def register_ordering(
+    name: str,
+    factory: Callable[[], Ordering],
+    aliases: Optional[List[str]] = None,
+) -> None:
+    """Register an ordering factory under ``name`` (and optional aliases)."""
+    for key in [name] + list(aliases or []):
+        canon = _canonical(key)
+        existing = _REGISTRY.get(canon)
+        if existing is not None and existing is not factory:
+            raise ValueError(f"ordering name already registered: {key}")
+        _REGISTRY[canon] = factory
+
+
+def get_ordering(name: str, **kwargs) -> Ordering:
+    """Instantiate a registered ordering by name (case/format insensitive).
+
+    Raises:
+        KeyError: for unknown names; the message lists the available ones.
+    """
+    canon = _canonical(name)
+    if canon not in _REGISTRY:
+        raise KeyError(f"unknown ordering {name!r}; available: {sorted(set(_REGISTRY))}")
+    factory = _REGISTRY[canon]
+    return factory(**kwargs) if kwargs else factory()
+
+
+def available_orderings() -> List[str]:
+    """Sorted list of registered canonical ordering names."""
+    return sorted(set(_REGISTRY))

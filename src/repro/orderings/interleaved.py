@@ -1,0 +1,29 @@
+"""Ordering-interface wrapper around the core I-Ordering search (Algorithm 3)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.ordering import OrderingResult, interleaved_ordering
+from repro.cubes.cube import TestSet
+from repro.orderings.base import Ordering, register_ordering
+
+
+class InterleavedOrdering(Ordering):
+    """The paper's interleaved test-vector ordering.
+
+    Args:
+        max_k: optional cap on the interleave size searched; the natural
+            stopping rule (first non-improving ``k``) applies either way.
+    """
+
+    name = "i-ordering"
+
+    def __init__(self, max_k: Optional[int] = None) -> None:
+        self.max_k = max_k
+
+    def order(self, patterns: TestSet) -> OrderingResult:
+        return interleaved_ordering(patterns, max_k=self.max_k)
+
+
+register_ordering("i-ordering", InterleavedOrdering, aliases=["interleaved", "iordering", "i"])

@@ -1,0 +1,66 @@
+"""Trivial orderings: tool order, don't-care-density sort, random shuffle.
+
+``ToolOrdering`` models the order a commercial ATPG tool emits patterns in —
+the paper's Table II baseline ("Tool-Ordering").  ``DensityOrdering`` and
+``RandomOrdering`` are not in the paper's tables; they serve as ablation
+references for how much of I-Ordering's benefit comes from the density sort
+alone versus the interleaving.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.ordering import OrderingResult
+from repro.cubes.cube import TestSet
+from repro.orderings.base import Ordering, register_ordering
+
+
+class ToolOrdering(Ordering):
+    """Identity ordering: keep the ATPG generation order."""
+
+    name = "tool"
+
+    def order(self, patterns: TestSet) -> OrderingResult:
+        permutation = list(range(len(patterns)))
+        return OrderingResult(ordered=patterns.copy(), permutation=permutation)
+
+
+class DensityOrdering(Ordering):
+    """Sort patterns by don't-care count.
+
+    Args:
+        ascending: ``True`` places the most specified patterns first (the
+            paper's Algorithm 3 starts from this order before interleaving).
+    """
+
+    name = "density"
+
+    def __init__(self, ascending: bool = True) -> None:
+        self.ascending = ascending
+
+    def order(self, patterns: TestSet) -> OrderingResult:
+        x_counts = patterns.x_counts_per_pattern()
+        permutation = [int(i) for i in np.argsort(x_counts, kind="stable")]
+        if not self.ascending:
+            permutation = permutation[::-1]
+        return OrderingResult(ordered=patterns.reordered(permutation), permutation=permutation)
+
+
+class RandomOrdering(Ordering):
+    """Seeded random permutation (reproducible shuffle)."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+
+    def order(self, patterns: TestSet) -> OrderingResult:
+        rng = np.random.default_rng(self.seed)
+        permutation = [int(i) for i in rng.permutation(len(patterns))]
+        return OrderingResult(ordered=patterns.reordered(permutation), permutation=permutation)
+
+
+register_ordering("tool", ToolOrdering, aliases=["tool-ordering", "identity"])
+register_ordering("density", DensityOrdering, aliases=["density-ordering", "sorted"])
+register_ordering("random", RandomOrdering, aliases=["random-ordering", "shuffle"])

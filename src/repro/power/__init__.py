@@ -1,0 +1,27 @@
+"""Capture-power estimation.
+
+Dynamic power of a CMOS net is ``0.5 * C * Vdd^2 * f`` per transition, so
+the per-cycle power of a capture event is a capacitance-weighted count of the
+nets that toggle.  The package provides:
+
+* :mod:`capacitance` — a synthetic "extraction" producing per-net
+  capacitances from fan-out and deterministic wire-length variation (the
+  stand-in for the paper's SoCEncounter place-and-route + RC extraction),
+* :mod:`switching` — capacitance-weighted switching-activity computation on
+  top of the pattern-parallel logic simulator,
+* :mod:`estimator` — the peak/average power report used by Table VI.
+"""
+
+from repro.power.capacitance import CapacitanceModel, TechnologyParameters, extract_capacitances
+from repro.power.estimator import PowerEstimator, PowerReport
+from repro.power.switching import SwitchingActivity, weighted_switching_activity
+
+__all__ = [
+    "TechnologyParameters",
+    "CapacitanceModel",
+    "extract_capacitances",
+    "SwitchingActivity",
+    "weighted_switching_activity",
+    "PowerEstimator",
+    "PowerReport",
+]

@@ -1,0 +1,26 @@
+"""Scan / DFT substrate.
+
+Models the part of the flow between "a set of filled test patterns" and "what
+the silicon actually sees": scan chains that shift pattern bits into the
+flip-flops, the Launch-Off-Shift (LOS) and Launch-Off-Capture (LOC) at-speed
+schemes, and the state-preserving DFT assumption (first-level hold) under
+which the combinational logic sees the test patterns back to back — the
+assumption that makes the peak-input-toggle objective meaningful for
+sequential circuits.
+"""
+
+from repro.scan.chain import ScanChain, ScanConfiguration, build_scan_chains
+from repro.scan.application import (
+    CaptureCycle,
+    ScanTestApplication,
+    TestApplicationResult,
+)
+
+__all__ = [
+    "ScanChain",
+    "ScanConfiguration",
+    "build_scan_chains",
+    "ScanTestApplication",
+    "CaptureCycle",
+    "TestApplicationResult",
+]

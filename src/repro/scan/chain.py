@@ -1,0 +1,125 @@
+"""Scan-chain construction and shift-order bookkeeping.
+
+In a full-scan design every flip-flop is replaced by a scan cell; the cells
+are stitched into one or more shift registers (scan chains).  For this
+reproduction the interesting consequences are:
+
+* a test cube's flip-flop portion must be *shifted* in, one bit per clock,
+  so the shift order determines shift-power (the MT-fill baseline minimises
+  exactly this), and
+* the scan configuration defines the mapping between cube bit positions and
+  physical cells, which the test-application model uses to compute per-cycle
+  toggle counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.circuit.netlist import Circuit
+from repro.cubes.cube import TestCube
+
+
+@dataclass(frozen=True)
+class ScanChain:
+    """One scan chain: an ordered list of scan-cell (flip-flop) names.
+
+    The first entry is closest to the scan-in pin (it receives the *last*
+    shifted bit); the last entry drives scan-out.
+    """
+
+    name: str
+    cells: tuple
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def shift_sequence(self, cell_values: Dict[str, int]) -> List[int]:
+        """Values that must be presented at scan-in, in shift order.
+
+        Bit ``i`` of the returned list is shifted in on cycle ``i``; after
+        ``len(self)`` cycles cell ``j`` holds ``cell_values[self.cells[j]]``.
+        """
+        return [int(cell_values[cell]) for cell in reversed(self.cells)]
+
+    def shift_transitions(self, cell_values: Dict[str, int]) -> int:
+        """Number of transitions seen at scan-in while loading these values.
+
+        This is the classic weighted-transition metric's unweighted core and
+        is what MT-fill minimises.
+        """
+        sequence = self.shift_sequence(cell_values)
+        return int(np.count_nonzero(np.diff(np.asarray(sequence))))
+
+
+@dataclass
+class ScanConfiguration:
+    """A circuit's complete scan configuration.
+
+    Attributes:
+        circuit_name: the circuit the chains belong to.
+        chains: the scan chains; together they cover every flip-flop exactly once.
+        cell_to_chain: mapping from cell name to (chain index, position).
+    """
+
+    circuit_name: str
+    chains: List[ScanChain]
+    cell_to_chain: Dict[str, tuple] = field(default_factory=dict)
+
+    @property
+    def n_cells(self) -> int:
+        """Total number of scan cells."""
+        return sum(len(chain) for chain in self.chains)
+
+    @property
+    def max_chain_length(self) -> int:
+        """Length of the longest chain (the shift-cycle count per pattern)."""
+        return max((len(chain) for chain in self.chains), default=0)
+
+    def shift_cycles_per_pattern(self) -> int:
+        """Shift cycles needed to load one pattern (all chains shift in parallel)."""
+        return self.max_chain_length
+
+
+def build_scan_chains(
+    circuit: Circuit,
+    n_chains: int = 1,
+    order: str = "insertion",
+    seed: int = 0,
+) -> ScanConfiguration:
+    """Stitch the circuit's flip-flops into scan chains.
+
+    Args:
+        circuit: the circuit to scan-insert.
+        n_chains: number of balanced chains to build.
+        order: ``"insertion"`` keeps the netlist flip-flop order (a stand-in
+            for a layout-driven stitching), ``"random"`` shuffles it with
+            ``seed`` (useful for studying the sensitivity of shift power to
+            stitching order).
+        seed: RNG seed for ``order="random"``.
+
+    Returns:
+        A :class:`ScanConfiguration` covering every flip-flop exactly once.
+    """
+    if n_chains < 1:
+        raise ValueError("n_chains must be at least 1")
+    if order not in ("insertion", "random"):
+        raise ValueError("order must be 'insertion' or 'random'")
+    cells = [ff.output for ff in circuit.flip_flops]
+    if order == "random":
+        rng = np.random.default_rng(seed)
+        cells = [cells[i] for i in rng.permutation(len(cells))]
+
+    chains: List[ScanChain] = []
+    cell_to_chain: Dict[str, tuple] = {}
+    n_chains = min(n_chains, max(len(cells), 1))
+    for index in range(n_chains):
+        members = cells[index::n_chains]
+        chain = ScanChain(name=f"chain{index}", cells=tuple(members))
+        for position, cell in enumerate(members):
+            cell_to_chain[cell] = (index, position)
+        chains.append(chain)
+    return ScanConfiguration(circuit_name=circuit.name, chains=chains, cell_to_chain=cell_to_chain)

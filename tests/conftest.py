@@ -1,0 +1,43 @@
+"""Shared pytest fixtures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cubes.cube import TestSet
+from repro.cubes.generator import CubeSetSpec, generate_cube_set
+
+
+@pytest.fixture
+def paper_motivation_set() -> TestSet:
+    """A small cube set in the spirit of Fig. 1 of the paper.
+
+    Four input pins, eight patterns, several long X stretches whose greedy
+    fill is sub-optimal — the optimal peak is strictly better than what
+    adjacent-style fills achieve.
+    """
+    rows = [
+        "0XXXX1",
+        "1XXXX0",
+        "0X1XX0",
+        "1XXX0X",
+    ]
+    pin_matrix = np.array(
+        [[{"0": 0, "1": 1, "X": 2}[c] for c in row] for row in rows], dtype=np.int8
+    )
+    return TestSet.from_pin_matrix(pin_matrix)
+
+
+@pytest.fixture
+def medium_synthetic_set() -> TestSet:
+    """A medium synthetic cube set (fast, deterministic) for integration tests."""
+    return generate_cube_set(
+        CubeSetSpec(n_pins=48, n_patterns=36, x_fraction=0.7, seed=7)
+    )
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic NumPy RNG for tests that need randomness."""
+    return np.random.default_rng(12345)

@@ -1,0 +1,175 @@
+"""Unit tests for gates, the netlist container and the .bench front end."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuit.bench_format import BenchParseError, parse_bench, write_bench
+from repro.circuit.gates import GateType, controlling_value, evaluate_bool, evaluate_ternary
+from repro.circuit.library import b01_like_fsm, c17, ripple_counter, toy_pipeline
+from repro.circuit.netlist import Circuit, CircuitError, Gate
+from repro.cubes.bits import ONE, X, ZERO
+
+
+class TestGateTypes:
+    def test_from_name_aliases(self):
+        assert GateType.from_name("buff") is GateType.BUF
+        assert GateType.from_name("INV") is GateType.NOT
+        assert GateType.from_name("nand") is GateType.NAND
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            GateType.from_name("MAJ")
+
+    def test_arity_checks(self):
+        assert GateType.NOT.arity_ok(1) and not GateType.NOT.arity_ok(2)
+        assert GateType.AND.arity_ok(3) and not GateType.AND.arity_ok(1)
+        assert GateType.INPUT.arity_ok(0) and not GateType.INPUT.arity_ok(1)
+
+    def test_controlling_values(self):
+        assert controlling_value(GateType.AND) == ZERO
+        assert controlling_value(GateType.NOR) == ONE
+        with pytest.raises(ValueError):
+            controlling_value(GateType.XOR)
+
+
+class TestGateEvaluation:
+    def test_bool_truth_tables(self):
+        a = np.array([False, False, True, True])
+        b = np.array([False, True, False, True])
+        np.testing.assert_array_equal(evaluate_bool(GateType.AND, [a, b]), a & b)
+        np.testing.assert_array_equal(evaluate_bool(GateType.NAND, [a, b]), ~(a & b))
+        np.testing.assert_array_equal(evaluate_bool(GateType.NOR, [a, b]), ~(a | b))
+        np.testing.assert_array_equal(evaluate_bool(GateType.XNOR, [a, b]), ~(a ^ b))
+        np.testing.assert_array_equal(evaluate_bool(GateType.NOT, [a]), ~a)
+
+    def test_ternary_controlling_value_dominates_x(self):
+        assert evaluate_ternary(GateType.AND, [ZERO, X]) == ZERO
+        assert evaluate_ternary(GateType.OR, [ONE, X]) == ONE
+        assert evaluate_ternary(GateType.NAND, [ZERO, X]) == ONE
+        assert evaluate_ternary(GateType.NOR, [ONE, X]) == ZERO
+
+    def test_ternary_x_propagates_otherwise(self):
+        assert evaluate_ternary(GateType.AND, [ONE, X]) == X
+        assert evaluate_ternary(GateType.XOR, [ONE, X]) == X
+        assert evaluate_ternary(GateType.NOT, [X]) == X
+
+    def test_ternary_fully_specified(self):
+        assert evaluate_ternary(GateType.XOR, [ONE, ONE]) == ZERO
+        assert evaluate_ternary(GateType.XNOR, [ONE, ZERO]) == ZERO
+
+
+class TestCircuitConstruction:
+    def test_duplicate_driver_rejected(self):
+        circuit = Circuit()
+        circuit.add_input("a")
+        circuit.add_gate("g", GateType.NOT, ["a"])
+        with pytest.raises(CircuitError):
+            circuit.add_gate("g", GateType.NOT, ["a"])
+        with pytest.raises(CircuitError):
+            circuit.add_gate("a", GateType.NOT, ["g"])
+
+    def test_undriven_net_detected(self):
+        circuit = Circuit()
+        circuit.add_input("a")
+        circuit.add_gate("g", GateType.AND, ["a", "ghost"])
+        circuit.add_output("g")
+        with pytest.raises(CircuitError, match="undriven"):
+            circuit.validate()
+
+    def test_combinational_cycle_detected(self):
+        circuit = Circuit()
+        circuit.add_input("a")
+        circuit.add_gate("g1", GateType.AND, ["a", "g2"])
+        circuit.add_gate("g2", GateType.AND, ["a", "g1"])
+        circuit.add_output("g1")
+        with pytest.raises(CircuitError, match="cycle"):
+            circuit.validate()
+
+    def test_dff_feedback_is_not_a_cycle(self):
+        circuit = b01_like_fsm()
+        circuit.validate()
+        assert circuit.n_flip_flops == 5
+
+    def test_gate_arity_enforced(self):
+        with pytest.raises(ValueError):
+            Gate(output="g", gate_type=GateType.AND, inputs=("a",))
+
+
+class TestCircuitAnalysis:
+    def test_c17_statistics(self):
+        circuit = c17()
+        stats = circuit.stats()
+        assert stats == {
+            "primary_inputs": 5,
+            "primary_outputs": 2,
+            "flip_flops": 0,
+            "gates": 6,
+            "test_pins": 5,
+            "depth": 3,
+        }
+
+    def test_topological_order_respects_dependencies(self):
+        circuit = c17()
+        order = circuit.topological_order()
+        position = {net: i for i, net in enumerate(order)}
+        for name in order:
+            for net in circuit.get_gate(name).inputs:
+                if net in position:
+                    assert position[net] < position[name]
+
+    def test_levelize_and_depth(self):
+        circuit = c17()
+        levels = circuit.levelize()
+        assert levels["G10"] == 1 and levels["G22"] == 3
+        assert circuit.depth() == 3
+
+    def test_fanout_counts_include_outputs(self):
+        circuit = c17()
+        counts = circuit.fanout_counts()
+        assert counts["G11"] == 2      # feeds G16 and G19
+        assert counts["G22"] == 1      # primary output only
+
+    def test_combinational_view_of_sequential_circuit(self):
+        circuit = ripple_counter(3)
+        assert circuit.n_test_pins == 1 + 3  # enable + 3 state bits
+        assert set(circuit.combinational_outputs) >= {"sum0", "sum1", "sum2"}
+
+    def test_transitive_fanin(self):
+        circuit = c17()
+        fanin = circuit.transitive_fanin("G22")
+        assert "G1" in fanin and "G3" in fanin and "G7" not in fanin
+
+
+class TestBenchFormat:
+    def test_round_trip_preserves_structure(self):
+        for circuit in (c17(), b01_like_fsm(), toy_pipeline(2, 3)):
+            rebuilt = parse_bench(write_bench(circuit), name=circuit.name)
+            assert rebuilt.n_gates == circuit.n_gates
+            assert rebuilt.n_flip_flops == circuit.n_flip_flops
+            assert rebuilt.primary_inputs == circuit.primary_inputs
+            assert rebuilt.primary_outputs == circuit.primary_outputs
+
+    def test_parse_handles_comments_and_blank_lines(self):
+        text = """
+        # a comment
+        INPUT(a)
+
+        OUTPUT(y)
+        y = NOT(a)   # trailing comment
+        """
+        circuit = parse_bench(text)
+        assert circuit.n_gates == 1
+
+    def test_parse_error_reports_line(self):
+        with pytest.raises(BenchParseError, match="line 2"):
+            parse_bench("INPUT(a)\nthis is not bench\n")
+
+    def test_unknown_gate_type_rejected(self):
+        with pytest.raises(BenchParseError):
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = MYSTERY(a)\n")
+
+    def test_structural_problems_surface_as_parse_errors(self):
+        with pytest.raises((BenchParseError, CircuitError)):
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n")

@@ -1,0 +1,150 @@
+"""Unit tests for interval extraction and fill reconstruction (paper §V-C/V-D)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.intervals import ToggleInterval, apply_assignment, extract_intervals
+from repro.cubes.bits import ONE, X, ZERO
+from repro.cubes.cube import TestSet
+from tests.helpers import cube_set_from_rows
+
+
+class TestToggleInterval:
+    def test_length(self):
+        interval = ToggleInterval(2, 5, row=0, left_col=2, right_col=6, left_value=0, right_value=1)
+        assert interval.length == 4
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ValueError):
+            ToggleInterval(5, 2, row=0, left_col=5, right_col=3, left_value=0, right_value=1)
+
+    def test_equal_values_rejected(self):
+        with pytest.raises(ValueError):
+            ToggleInterval(0, 1, row=0, left_col=0, right_col=2, left_value=1, right_value=1)
+
+
+class TestPreprocessing:
+    def test_same_value_stretch_is_filled(self):
+        ts = cube_set_from_rows(["0XX0"])
+        result = extract_intervals(ts)
+        assert result.intervals == []
+        np.testing.assert_array_equal(result.prefilled[0], [0, 0, 0, 0])
+
+    def test_one_stretch_same_value(self):
+        ts = cube_set_from_rows(["1XXX1"])
+        result = extract_intervals(ts)
+        assert result.intervals == []
+        np.testing.assert_array_equal(result.prefilled[0], [1, 1, 1, 1, 1])
+
+    def test_leading_and_trailing_x_runs(self):
+        ts = cube_set_from_rows(["XX1X0XX"])
+        result = extract_intervals(ts)
+        # Leading Xs copy the 1, trailing Xs copy the 0; the 1X0 gap forms one interval.
+        assert len(result.intervals) == 1
+        assert result.prefilled[0, 0] == 1 and result.prefilled[0, 1] == 1
+        assert result.prefilled[0, 5] == 0 and result.prefilled[0, 6] == 0
+
+    def test_all_x_row_filled_with_zero(self):
+        ts = cube_set_from_rows(["XXXX"])
+        result = extract_intervals(ts)
+        assert result.intervals == []
+        np.testing.assert_array_equal(result.prefilled[0], [0, 0, 0, 0])
+
+    def test_adjacent_conflict_counts_as_base_toggle(self):
+        ts = cube_set_from_rows(["0110"])
+        result = extract_intervals(ts)
+        np.testing.assert_array_equal(result.base_toggles, [1, 0, 1])
+        assert result.base_peak == 1
+        assert result.intervals == []
+
+
+class TestIntervalCreation:
+    def test_zero_to_one_stretch(self):
+        ts = cube_set_from_rows(["0XXX1"])
+        result = extract_intervals(ts)
+        assert len(result.intervals) == 1
+        interval = result.intervals[0]
+        assert (interval.start, interval.end) == (0, 3)
+        assert (interval.left_value, interval.right_value) == (ZERO, ONE)
+
+    def test_one_to_zero_stretch(self):
+        ts = cube_set_from_rows(["1XX0"])
+        result = extract_intervals(ts)
+        interval = result.intervals[0]
+        assert (interval.start, interval.end) == (0, 2)
+        assert (interval.left_value, interval.right_value) == (ONE, ZERO)
+
+    def test_adjacent_transition_without_x_is_base_not_interval(self):
+        ts = cube_set_from_rows(["01"])
+        result = extract_intervals(ts)
+        assert result.intervals == []
+        np.testing.assert_array_equal(result.base_toggles, [1])
+
+    def test_multiple_rows_and_intervals(self):
+        ts = cube_set_from_rows([
+            "0XX1X0",   # intervals (0,2) and (3,4)
+            "1XXXX1",   # preprocessing fill, no interval
+            "0101XX",   # base toggles at 0,1,2; trailing fill
+        ])
+        result = extract_intervals(ts)
+        spans = sorted((iv.start, iv.end) for iv in result.intervals)
+        assert spans == [(0, 2), (3, 4)]
+        np.testing.assert_array_equal(result.base_toggles, [1, 1, 1, 0, 0])
+
+    def test_interval_rows_recorded(self):
+        ts = cube_set_from_rows(["0000", "0XX1"])
+        result = extract_intervals(ts)
+        assert result.intervals[0].row == 1
+
+    def test_prefilled_keeps_x_only_inside_intervals(self):
+        ts = cube_set_from_rows(["0X1XX0X1"])
+        result = extract_intervals(ts)
+        x_positions = set(zip(*np.nonzero(result.prefilled == X)))
+        for row, col in x_positions:
+            assert any(
+                iv.row == row and iv.left_col < col < iv.right_col for iv in result.intervals
+            )
+
+    def test_empty_and_single_pattern_sets(self):
+        empty = TestSet([])
+        result = extract_intervals(empty)
+        assert result.n_boundaries == 0 and result.intervals == []
+        single = TestSet.from_strings(["0X1"])
+        result = extract_intervals(single)
+        assert result.n_boundaries == 0 and result.intervals == []
+
+
+class TestApplyAssignment:
+    def test_reconstruction_places_single_toggle(self):
+        ts = cube_set_from_rows(["0XXX1"])
+        result = extract_intervals(ts)
+        for color in range(0, 4):
+            filled = apply_assignment(result, np.array([color]))
+            row = filled[0]
+            assert not (row == X).any()
+            # Exactly one toggle, at boundary `color`.
+            toggles = np.nonzero(row[1:] != row[:-1])[0]
+            np.testing.assert_array_equal(toggles, [color])
+
+    def test_out_of_window_colour_rejected(self):
+        ts = cube_set_from_rows(["0XXX1"])
+        result = extract_intervals(ts)
+        with pytest.raises(ValueError):
+            apply_assignment(result, np.array([4]))
+
+    def test_wrong_number_of_colours_rejected(self):
+        ts = cube_set_from_rows(["0XXX1"])
+        result = extract_intervals(ts)
+        with pytest.raises(ValueError):
+            apply_assignment(result, np.array([], dtype=np.int64))
+
+    def test_care_bits_never_modified(self):
+        ts = cube_set_from_rows(["0X1X0", "1XXX0"])
+        result = extract_intervals(ts)
+        colors = np.array([iv.start for iv in result.intervals])
+        filled = apply_assignment(result, colors)
+        original = ts.pin_matrix()
+        specified = original != X
+        np.testing.assert_array_equal(filled[specified], original[specified])

@@ -1,0 +1,85 @@
+"""Unit tests for the synthetic cube-set generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cubes.bits import X
+from repro.cubes.generator import (
+    CubeSetSpec,
+    generate_cube_set,
+    generate_cube_set_like,
+    random_fully_specified_set,
+)
+from repro.cubes.metrics import stretch_histogram
+
+
+class TestSpecValidation:
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            CubeSetSpec(n_pins=0, n_patterns=10, x_fraction=0.5)
+        with pytest.raises(ValueError):
+            CubeSetSpec(n_pins=10, n_patterns=0, x_fraction=0.5)
+
+    def test_rejects_bad_fractions(self):
+        with pytest.raises(ValueError):
+            CubeSetSpec(n_pins=10, n_patterns=10, x_fraction=1.0)
+        with pytest.raises(ValueError):
+            CubeSetSpec(n_pins=10, n_patterns=10, x_fraction=0.5, cluster_fraction=2.0)
+        with pytest.raises(ValueError):
+            CubeSetSpec(n_pins=10, n_patterns=10, x_fraction=0.5, hot_pin_fraction=-0.1)
+
+
+class TestGeneration:
+    def test_shape_matches_spec(self):
+        ts = generate_cube_set(CubeSetSpec(n_pins=50, n_patterns=20, x_fraction=0.6, seed=1))
+        assert len(ts) == 20
+        assert ts.n_pins == 50
+
+    def test_determinism_per_seed(self):
+        spec = CubeSetSpec(n_pins=40, n_patterns=15, x_fraction=0.7, seed=3)
+        assert generate_cube_set(spec) == generate_cube_set(spec)
+
+    def test_different_seeds_differ(self):
+        a = generate_cube_set(CubeSetSpec(n_pins=40, n_patterns=15, x_fraction=0.7, seed=3))
+        b = generate_cube_set(CubeSetSpec(n_pins=40, n_patterns=15, x_fraction=0.7, seed=4))
+        assert a != b
+
+    @pytest.mark.parametrize("target", [0.3, 0.6, 0.85])
+    def test_x_density_close_to_target(self, target):
+        ts = generate_cube_set(
+            CubeSetSpec(n_pins=200, n_patterns=80, x_fraction=target, seed=11)
+        )
+        assert ts.x_fraction == pytest.approx(target, abs=0.08)
+
+    def test_every_pattern_has_at_least_one_care_bit(self):
+        ts = generate_cube_set(CubeSetSpec(n_pins=30, n_patterns=50, x_fraction=0.9, seed=5))
+        assert (ts.x_counts_per_pattern() < ts.n_pins).all()
+
+    def test_percent_wrapper(self):
+        ts = generate_cube_set_like(100, 40, 75.0, seed=2)
+        assert ts.x_fraction == pytest.approx(0.75, abs=0.1)
+
+    def test_clustering_produces_long_stretches(self):
+        clustered = generate_cube_set(
+            CubeSetSpec(n_pins=120, n_patterns=60, x_fraction=0.8, cluster_fraction=0.9, seed=9)
+        )
+        stats = stretch_histogram(clustered)
+        # With 80 % X density there must be stretches spanning several patterns.
+        assert stats.max_length >= 3
+
+
+class TestFullySpecifiedGenerator:
+    def test_no_x_bits(self):
+        ts = random_fully_specified_set(20, 10, seed=0)
+        assert ts.is_fully_specified()
+        assert len(ts) == 10 and ts.n_pins == 20
+
+    def test_deterministic(self):
+        assert random_fully_specified_set(8, 4, seed=1) == random_fully_specified_set(8, 4, seed=1)
+
+    def test_values_are_binary(self):
+        ts = random_fully_specified_set(16, 6, seed=2)
+        assert not (ts.matrix == X).any()
+        assert set(np.unique(ts.matrix)).issubset({0, 1})

@@ -1,0 +1,70 @@
+"""Unit tests for the pattern-file reader/writer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cubes.cube import TestCube, TestSet
+from repro.cubes.generator import generate_cube_set_like
+from repro.cubes.io import (
+    PatternFileError,
+    dumps_patterns,
+    loads_patterns,
+    read_pattern_file,
+    write_pattern_file,
+)
+
+
+class TestRoundTrip:
+    def test_text_round_trip_preserves_bits_and_names(self):
+        patterns = TestSet(
+            [TestCube.from_string("0X1X", name="G1/sa0"), TestCube.from_string("11X0", name=None)]
+        )
+        restored = loads_patterns(dumps_patterns(patterns))
+        assert restored == patterns
+        assert restored.names == ["G1/sa0", None]
+
+    def test_file_round_trip(self, tmp_path):
+        patterns = generate_cube_set_like(40, 12, 70.0, seed=4)
+        path = tmp_path / "patterns.txt"
+        write_pattern_file(patterns, path, title="unit test patterns")
+        restored = read_pattern_file(path)
+        assert restored == patterns
+        assert "unit test patterns" in path.read_text()
+
+    def test_empty_set_round_trip(self):
+        assert len(loads_patterns(dumps_patterns(TestSet([])))) == 0
+
+
+class TestParsing:
+    def test_blank_lines_and_comments_ignored(self):
+        text = """
+        # a file
+        0X1
+
+        # another comment
+        1X0  # fault_a
+        """
+        patterns = loads_patterns(text)
+        assert patterns.to_strings() == ["0X1", "1X0"]
+        assert patterns.names[1] == "fault_a"
+
+    def test_invalid_characters_rejected_with_line_number(self):
+        with pytest.raises(PatternFileError, match="line 2"):
+            loads_patterns("0X1\n0Z1\n")
+
+    def test_inconsistent_lengths_rejected(self):
+        with pytest.raises(PatternFileError, match="lengths"):
+            loads_patterns("0X1\n01\n")
+
+    def test_pin_header_mismatch_rejected(self):
+        with pytest.raises(PatternFileError, match="pins"):
+            loads_patterns("# pins: 5\n0X1\n")
+
+    def test_bad_pin_header_rejected(self):
+        with pytest.raises(PatternFileError, match="pins header"):
+            loads_patterns("# pins: five\n0X1\n")
+
+    def test_header_matching_data_accepted(self):
+        patterns = loads_patterns("# pins: 3\n0X1\nX10\n")
+        assert len(patterns) == 2 and patterns.n_pins == 3

@@ -1,0 +1,197 @@
+"""Unit tests for the baseline X-filling algorithms and the filler registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cubes.bits import ONE, X, ZERO
+from repro.cubes.cube import TestSet
+from repro.cubes.generator import CubeSetSpec, generate_cube_set
+from repro.cubes.metrics import peak_toggles
+from repro.filling import (
+    AdjacentFill,
+    DPFill,
+    MinimumTransitionFill,
+    OneFill,
+    RandomFill,
+    XStatFill,
+    ZeroFill,
+    available_fillers,
+    get_filler,
+)
+from repro.filling.base import register_filler
+from tests.helpers import cube_set_from_rows
+
+ALL_FILLERS = ["0-fill", "1-fill", "R-fill", "MT-fill", "Adj-fill", "B-fill", "DP-fill"]
+
+
+class TestRegistry:
+    def test_all_paper_fillers_available(self):
+        names = available_fillers()
+        for required in ("0-fill", "1-fill", "r-fill", "mt-fill", "adj-fill", "b-fill", "dp-fill"):
+            assert required in names
+
+    def test_lookup_is_case_and_format_insensitive(self):
+        assert isinstance(get_filler("dp_fill"), DPFill)
+        assert isinstance(get_filler("B-Fill"), XStatFill)
+        assert isinstance(get_filler("xstat"), XStatFill)
+
+    def test_unknown_name_lists_alternatives(self):
+        with pytest.raises(KeyError, match="available"):
+            get_filler("no-such-fill")
+
+    def test_kwargs_forwarded(self):
+        filler = get_filler("r-fill", seed=42)
+        assert isinstance(filler, RandomFill) and filler.seed == 42
+
+    def test_conflicting_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_filler("0-fill", OneFill)
+
+
+@pytest.mark.parametrize("name", ALL_FILLERS)
+class TestFillContract:
+    """Every filler must produce a complete fill that preserves care bits."""
+
+    def test_contract_on_synthetic_set(self, name, medium_synthetic_set):
+        filled = get_filler(name).fill(medium_synthetic_set)
+        assert filled.is_fully_specified()
+        original = medium_synthetic_set.matrix
+        specified = original != X
+        np.testing.assert_array_equal(filled.matrix[specified], original[specified])
+
+    def test_contract_on_edge_cases(self, name):
+        filler = get_filler(name)
+        for strings in (["XXXX"], ["0101"], ["XXXX", "XXXX"], ["X", "X", "X"]):
+            filled = filler.fill(TestSet.from_strings(strings))
+            assert filled.is_fully_specified()
+
+    def test_run_reports_consistent_metrics(self, name, medium_synthetic_set):
+        outcome = get_filler(name).run(medium_synthetic_set)
+        assert outcome.peak_toggles == peak_toggles(outcome.filled)
+        assert outcome.filler_name == get_filler(name).name
+
+
+class TestConstantFills:
+    def test_zero_fill(self):
+        filled = ZeroFill().fill(TestSet.from_strings(["0X1X"]))
+        assert filled.to_strings() == ["0010"]
+
+    def test_one_fill(self):
+        filled = OneFill().fill(TestSet.from_strings(["0X1X"]))
+        assert filled.to_strings() == ["0111"]
+
+    def test_random_fill_deterministic_per_seed(self, medium_synthetic_set):
+        a = RandomFill(seed=3).fill(medium_synthetic_set)
+        b = RandomFill(seed=3).fill(medium_synthetic_set)
+        c = RandomFill(seed=4).fill(medium_synthetic_set)
+        assert a == b
+        assert a != c
+
+
+class TestMinimumTransitionFill:
+    def test_copies_previous_value_within_pattern(self):
+        filled = MinimumTransitionFill().fill(TestSet.from_strings(["0XX1X"]))
+        assert filled.to_strings() == ["00011"]
+
+    def test_leading_x_takes_first_care_bit(self):
+        filled = MinimumTransitionFill().fill(TestSet.from_strings(["XX1X0"]))
+        assert filled.to_strings() == ["11110"]
+
+    def test_all_x_pattern_becomes_zero(self):
+        filled = MinimumTransitionFill().fill(TestSet.from_strings(["XXX"]))
+        assert filled.to_strings() == ["000"]
+
+    def test_minimises_intra_pattern_transitions(self):
+        ts = TestSet.from_strings(["0XXXXX1"])
+        filled = MinimumTransitionFill().fill(ts)
+        bits = filled.matrix[0]
+        transitions = int(np.count_nonzero(bits[1:] != bits[:-1]))
+        assert transitions == 1
+
+
+class TestAdjacentFill:
+    def test_copies_previous_pattern(self):
+        ts = TestSet.from_strings(["01", "XX", "X0"])
+        filled = AdjacentFill().fill(ts)
+        assert filled.to_strings() == ["01", "01", "00"]
+
+    def test_first_pattern_fill_value(self):
+        ts = TestSet.from_strings(["XX", "1X"])
+        assert AdjacentFill(first_pattern_fill=ONE).fill(ts).to_strings() == ["11", "11"]
+        assert AdjacentFill(first_pattern_fill=ZERO).fill(ts).to_strings() == ["00", "10"]
+
+    def test_invalid_first_fill_rejected(self):
+        with pytest.raises(ValueError):
+            AdjacentFill(first_pattern_fill=2)
+
+    def test_no_toggle_when_column_all_x_after_first(self):
+        ts = TestSet.from_strings(["1X", "XX", "XX"])
+        filled = AdjacentFill().fill(ts)
+        column = filled.matrix[:, 0]
+        assert (column == column[0]).all()
+
+
+class TestXStatFill:
+    def test_squeeze_modes(self):
+        ts = cube_set_from_rows(["0XXXX1"])
+        for mode in ("left", "middle", "right"):
+            filled = XStatFill(squeeze=mode).fill(ts)
+            row = filled.pin_matrix()[0]
+            assert int(np.count_nonzero(row[1:] != row[:-1])) == 1
+
+    def test_invalid_squeeze_rejected(self):
+        with pytest.raises(ValueError):
+            XStatFill(squeeze="top")
+
+    def test_same_value_stretch_has_no_toggle(self):
+        filled = XStatFill().fill(cube_set_from_rows(["1XXX1"]))
+        row = filled.pin_matrix()[0]
+        np.testing.assert_array_equal(row, [1, 1, 1, 1, 1])
+
+    def test_phase2_balances_boundaries(self):
+        # Two 0X1 stretches sharing candidate boundaries: the greedy must not
+        # stack both toggles on the same boundary.
+        ts = cube_set_from_rows(["0X1", "0X1"])
+        filled = XStatFill().fill(ts)
+        profile = np.count_nonzero(
+            filled.matrix[1:] != filled.matrix[:-1], axis=1
+        )
+        assert int(profile.max()) == 1
+
+    def test_is_weaker_than_dpfill_on_motivating_example(self, paper_motivation_set):
+        """The paper's Fig. 1 point: the greedy two-phase fill can be beaten."""
+        xstat_peak = XStatFill().run(paper_motivation_set).peak_toggles
+        dp_peak = DPFill().run(paper_motivation_set).peak_toggles
+        assert dp_peak <= xstat_peak
+
+
+class TestDPFillWrapper:
+    def test_matches_core_dpfill(self, medium_synthetic_set):
+        from repro.core.dpfill import dp_fill
+
+        wrapper_peak = DPFill().run(medium_synthetic_set).peak_toggles
+        assert wrapper_peak == dp_fill(medium_synthetic_set).peak_toggles
+
+    def test_literal_mode_flag(self, medium_synthetic_set):
+        literal = DPFill(account_base_toggles=False).run(medium_synthetic_set)
+        exact = DPFill().run(medium_synthetic_set)
+        assert exact.peak_toggles <= literal.peak_toggles
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=1_000),
+    x_fraction=st.floats(min_value=0.2, max_value=0.9),
+)
+def test_every_filler_preserves_care_bits(seed, x_fraction):
+    """Property: all fillers satisfy the fill contract on random sets."""
+    ts = generate_cube_set(CubeSetSpec(n_pins=16, n_patterns=8, x_fraction=x_fraction, seed=seed))
+    specified = ts.matrix != X
+    for name in ALL_FILLERS:
+        filled = get_filler(name).fill(ts)
+        assert filled.is_fully_specified()
+        np.testing.assert_array_equal(filled.matrix[specified], ts.matrix[specified])

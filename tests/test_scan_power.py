@@ -1,0 +1,177 @@
+"""Unit tests for the scan/DFT substrate and the power model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuit.library import b01_like_fsm, c17, itc99_like, ripple_counter
+from repro.cubes.cube import TestSet
+from repro.cubes.generator import generate_cube_set_like, random_fully_specified_set
+from repro.filling import get_filler
+from repro.power.capacitance import TechnologyParameters, extract_capacitances
+from repro.power.estimator import PowerEstimator
+from repro.power.switching import weighted_switching_activity
+from repro.scan.application import ScanTestApplication
+from repro.scan.chain import build_scan_chains
+
+
+class TestScanChains:
+    def test_single_chain_covers_all_cells(self):
+        circuit = b01_like_fsm()
+        config = build_scan_chains(circuit)
+        assert config.n_cells == circuit.n_flip_flops
+        assert config.max_chain_length == circuit.n_flip_flops
+
+    def test_balanced_multi_chain_partition(self):
+        circuit = ripple_counter(6)
+        config = build_scan_chains(circuit, n_chains=3)
+        assert config.n_cells == 6
+        assert len(config.chains) == 3
+        lengths = [len(chain) for chain in config.chains]
+        assert max(lengths) - min(lengths) <= 1
+        # Every cell appears in exactly one chain.
+        all_cells = [cell for chain in config.chains for cell in chain.cells]
+        assert sorted(all_cells) == sorted(ff.output for ff in circuit.flip_flops)
+
+    def test_random_order_is_seeded(self):
+        circuit = ripple_counter(6)
+        a = build_scan_chains(circuit, order="random", seed=1)
+        b = build_scan_chains(circuit, order="random", seed=1)
+        c = build_scan_chains(circuit, order="random", seed=2)
+        assert [ch.cells for ch in a.chains] == [ch.cells for ch in b.chains]
+        assert [ch.cells for ch in a.chains] != [ch.cells for ch in c.chains]
+
+    def test_invalid_parameters(self):
+        circuit = ripple_counter(3)
+        with pytest.raises(ValueError):
+            build_scan_chains(circuit, n_chains=0)
+        with pytest.raises(ValueError):
+            build_scan_chains(circuit, order="alphabetical")
+
+    def test_shift_transitions_count(self):
+        circuit = ripple_counter(4)
+        config = build_scan_chains(circuit)
+        chain = config.chains[0]
+        constant = {cell: 1 for cell in chain.cells}
+        assert chain.shift_transitions(constant) == 0
+        alternating = {cell: i % 2 for i, cell in enumerate(chain.cells)}
+        assert chain.shift_transitions(alternating) == len(chain.cells) - 1
+
+
+class TestScanApplication:
+    def test_capture_profile_matches_toggle_profile(self):
+        circuit = b01_like_fsm()
+        patterns = random_fully_specified_set(circuit.n_test_pins, 8, seed=1)
+        app = ScanTestApplication(circuit)
+        trace = app.apply(patterns)
+        from repro.cubes.metrics import peak_toggles
+
+        assert trace.peak_capture_input_toggles == peak_toggles(patterns)
+        assert len(trace.capture_cycles) == len(patterns) - 1
+
+    def test_circuit_simulation_option(self):
+        circuit = b01_like_fsm()
+        patterns = random_fully_specified_set(circuit.n_test_pins, 6, seed=2)
+        trace = ScanTestApplication(circuit).apply(patterns, simulate_circuit=True)
+        assert trace.peak_capture_circuit_toggles > 0
+
+    def test_requires_filled_patterns(self):
+        circuit = b01_like_fsm()
+        app = ScanTestApplication(circuit)
+        with pytest.raises(ValueError):
+            app.apply(TestSet.from_strings(["0X" + "0" * (circuit.n_test_pins - 2)]))
+
+    def test_wrong_width_rejected(self):
+        circuit = b01_like_fsm()
+        app = ScanTestApplication(circuit)
+        with pytest.raises(ValueError):
+            app.apply(random_fully_specified_set(3, 4))
+
+    def test_invalid_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            ScanTestApplication(b01_like_fsm(), scheme="LOQ")
+
+    def test_non_preserving_dft_is_pessimistic(self):
+        circuit = b01_like_fsm()
+        patterns = random_fully_specified_set(circuit.n_test_pins, 8, seed=3)
+        preserving = ScanTestApplication(circuit, state_preserving_dft=True).apply(patterns)
+        conventional = ScanTestApplication(circuit, state_preserving_dft=False).apply(patterns)
+        assert conventional.peak_capture_input_toggles >= preserving.peak_capture_input_toggles
+
+    def test_cycle_accounting(self):
+        circuit = ripple_counter(5)
+        patterns = random_fully_specified_set(circuit.n_test_pins, 4, seed=0)
+        trace = ScanTestApplication(circuit).apply(patterns)
+        assert trace.shift_cycles_per_pattern == 5
+        assert trace.test_cycles == 4 * (5 + 1)
+
+
+class TestCapacitanceModel:
+    def test_every_net_has_positive_capacitance(self):
+        circuit = c17()
+        model = extract_capacitances(circuit)
+        assert set(model.net_capacitance_ff) == set(circuit.nets())
+        assert all(value > 0 for value in model.net_capacitance_ff.values())
+
+    def test_extraction_is_deterministic(self):
+        circuit = c17()
+        a = extract_capacitances(circuit, seed=4)
+        b = extract_capacitances(circuit, seed=4)
+        assert a.net_capacitance_ff == b.net_capacitance_ff
+
+    def test_fanout_correlation(self):
+        circuit = c17()
+        model = extract_capacitances(circuit)
+        counts = circuit.fanout_counts()
+        high = [model.capacitance_of(n) for n, c in counts.items() if c >= 2]
+        low = [model.capacitance_of(n) for n, c in counts.items() if c == 1]
+        assert np.mean(high) > np.mean(low)
+
+    def test_invalid_technology_parameters(self):
+        with pytest.raises(ValueError):
+            TechnologyParameters(gate_input_cap_ff=0.0)
+        with pytest.raises(ValueError):
+            TechnologyParameters(wire_variation=1.5)
+        with pytest.raises(ValueError):
+            TechnologyParameters(supply_voltage=-1.0)
+
+
+class TestSwitchingAndPower:
+    def test_identical_patterns_switch_nothing(self):
+        circuit = b01_like_fsm()
+        pattern = np.ones((4, circuit.n_test_pins), dtype=np.int8)
+        activity = weighted_switching_activity(circuit, TestSet.from_matrix(pattern))
+        assert activity.peak_toggles == 0
+        assert activity.peak_switched_capacitance_ff == 0.0
+
+    def test_requires_filled_patterns(self):
+        circuit = b01_like_fsm()
+        cubes = TestSet.from_strings(["0X" + "0" * (circuit.n_test_pins - 2)] * 2)
+        with pytest.raises(ValueError):
+            weighted_switching_activity(circuit, cubes)
+
+    def test_power_report_fields(self):
+        circuit = b01_like_fsm()
+        patterns = random_fully_specified_set(circuit.n_test_pins, 10, seed=5)
+        report = PowerEstimator(circuit).estimate(patterns)
+        assert report.peak_power_uw >= report.average_power_uw >= 0.0
+        assert 0 <= report.peak_boundary < len(patterns) - 1
+        assert report.peak_input_toggles > 0
+
+    def test_single_pattern_has_zero_power(self):
+        circuit = b01_like_fsm()
+        report = PowerEstimator(circuit).estimate(
+            random_fully_specified_set(circuit.n_test_pins, 1, seed=0)
+        )
+        assert report.peak_power_uw == 0.0 and report.peak_boundary == -1
+
+    def test_dpfill_reduces_peak_power_vs_zero_fill_on_x_rich_set(self):
+        """Integration: on an X-dominated cube set the DP-filled patterns burn
+        less peak capture power than 0-fill under the same extraction."""
+        circuit = itc99_like("b10")
+        cubes = generate_cube_set_like(circuit.n_test_pins, 32, 70.0, seed=10)
+        estimator = PowerEstimator(circuit)
+        zero = estimator.estimate(get_filler("0-fill").fill(cubes))
+        optimal = estimator.estimate(get_filler("DP-fill").fill(cubes))
+        assert optimal.peak_power_uw <= zero.peak_power_uw
