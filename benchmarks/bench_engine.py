@@ -1,0 +1,156 @@
+"""Naive vs packed simulation-backend benchmarks.
+
+Two entry points:
+
+* ``pytest benchmarks/bench_engine.py --benchmark-only`` — pytest-benchmark
+  timings of logic simulation, fault simulation and power estimation on the
+  harness's benchmark profiles, one run per backend.
+* ``PYTHONPATH=src python benchmarks/bench_engine.py`` — a standalone
+  speedup report (wall-clock, a fresh simulator per run, resolved through
+  the backend registry exactly like production callers; the packed
+  backend's compile-once program cache is therefore in play, as designed)
+  used to record the headline numbers in ``CHANGES.md``.  Results are
+  asserted identical between backends before any timing is reported.
+
+The fault-simulation run on the largest profile is the acceptance gate for
+the engine subsystem: the packed backend must be at least 5x faster.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Callable, List, Tuple
+
+import pytest
+
+from repro.atpg.collapse import collapse_faults
+from repro.core.dpfill import dp_fill
+from repro.cubes.cube import TestSet
+from repro.engine.backend import get_backend
+from repro.experiments.workloads import Workload, build_workload, default_workload_names
+from repro.power.estimator import PowerEstimator
+
+BACKENDS = ["naive", "packed"]
+
+#: Mirrors ``conftest.bench_names`` (kept local so ``python
+#: benchmarks/bench_engine.py`` works without pytest's conftest loading).
+BENCH_NAMES = ["b01", "b03", "b08", "b04", "b12"]
+
+
+def bench_names() -> List[str]:
+    """Benchmark names the engine comparison runs over."""
+    if os.environ.get("REPRO_BENCH_FULL", "0") not in ("0", "", "false", "False"):
+        return default_workload_names()
+    return list(BENCH_NAMES)
+
+
+def _filled_patterns(workload: Workload) -> TestSet:
+    return dp_fill(workload.cubes).filled
+
+
+# -- pytest-benchmark harness ----------------------------------------------
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("name", bench_names())
+def test_bench_logic_simulation(benchmark, name, backend):
+    workload = build_workload(name)
+    patterns = _filled_patterns(workload)
+    simulator = get_backend(backend).logic_simulator(workload.circuit)
+    values = benchmark(lambda: simulator.simulate(patterns.matrix))
+    assert len(values) > 0
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("name", bench_names())
+def test_bench_fault_simulation(benchmark, name, backend):
+    workload = build_workload(name)
+    patterns = _filled_patterns(workload)
+    faults = collapse_faults(workload.circuit)
+    simulator = get_backend(backend).fault_simulator(workload.circuit)
+    result = benchmark(lambda: simulator.run(patterns, faults))
+    assert result.n_patterns == len(patterns)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("name", bench_names())
+def test_bench_power_estimation(benchmark, name, backend):
+    workload = build_workload(name)
+    patterns = _filled_patterns(workload)
+    estimator = PowerEstimator(workload.circuit, backend=backend)
+    report = benchmark(lambda: estimator.estimate(patterns))
+    assert report.peak_power_uw >= 0.0
+
+
+# -- standalone speedup report ---------------------------------------------
+def _time_best(build: Callable[[], Callable[[], object]], repeats: int = 3) -> Tuple[float, object]:
+    """Best wall-clock of ``repeats`` cold runs (a fresh callable per run)."""
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        run = build()
+        start = time.perf_counter()
+        result = run()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def main() -> int:
+    """Print a naive-vs-packed speedup table over the benchmark profiles."""
+    names: List[str] = bench_names()
+    rows = []
+    for name in names:
+        workload = build_workload(name)
+        circuit = workload.circuit
+        patterns = _filled_patterns(workload)
+        faults = collapse_faults(circuit)
+
+        timings = {}
+        results = {}
+        for backend_name in BACKENDS:
+            backend = get_backend(backend_name)
+            t_logic, _ = _time_best(
+                lambda: lambda: backend.logic_simulator(circuit).simulate(patterns.matrix)
+            )
+            t_fault, res = _time_best(
+                lambda: lambda: backend.fault_simulator(circuit).run(patterns, faults),
+                repeats=2,
+            )
+            t_power, _ = _time_best(
+                lambda: lambda: PowerEstimator(circuit, backend=backend_name).estimate(patterns)
+            )
+            timings[backend_name] = (t_logic, t_fault, t_power)
+            results[backend_name] = res
+        naive_res, packed_res = results["naive"], results["packed"]
+        assert list(naive_res.detected.items()) == list(packed_res.detected.items()), name
+        assert naive_res.undetected == packed_res.undetected, name
+        rows.append((name, circuit.n_gates, len(patterns), len(faults), timings))
+
+    header = (
+        f"{'circuit':>8} {'gates':>6} {'pats':>5} {'faults':>6} "
+        f"{'logic n/p (ms)':>16} {'fault n/p (ms)':>18} {'power n/p (ms)':>16} "
+        f"{'fault speedup':>13}"
+    )
+    print(header)
+    print("-" * len(header))
+    largest = max(rows, key=lambda row: row[1])
+    for name, gates, n_patterns, n_faults, timings in rows:
+        ln, fn, pn = (value * 1000 for value in timings["naive"])
+        lp, fp, pp = (value * 1000 for value in timings["packed"])
+        marker = "  <- largest" if name == largest[0] else ""
+        print(
+            f"{name:>8} {gates:>6} {n_patterns:>5} {n_faults:>6} "
+            f"{ln:>7.1f}/{lp:<7.1f} {fn:>8.1f}/{fp:<8.1f} {pn:>7.1f}/{pp:<7.1f} "
+            f"{fn / fp:>12.1f}x{marker}"
+        )
+    name, _, _, _, timings = largest
+    speedup = timings["naive"][1] / timings["packed"][1]
+    print(f"\nlargest profile ({name}) fault-simulation speedup: {speedup:.1f}x")
+    if speedup < 5.0:
+        print("WARNING: below the 5x acceptance threshold")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -46,10 +46,16 @@ from repro.cubes import (
     total_toggles,
     x_density,
 )
+from repro.engine import (
+    available_backends,
+    get_backend,
+    register_backend,
+    set_default_backend,
+)
 from repro.filling import Filler, available_fillers, get_filler
 from repro.orderings import Ordering, available_orderings, get_ordering
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -82,4 +88,9 @@ __all__ = [
     "Ordering",
     "get_ordering",
     "available_orderings",
+    # simulation backends
+    "get_backend",
+    "register_backend",
+    "set_default_backend",
+    "available_backends",
 ]

@@ -9,107 +9,54 @@ flip-flop data input) differs from the good machine for at least one pattern.
 This is the piece that grades every generated test set: coverage numbers in
 the experiment harness and the "patterns keep detecting their target faults
 after X-filling" integration tests both come from here.
+
+Since the engine subsystem landed, :class:`FaultSimulator` is a thin facade
+over a pluggable backend (see :mod:`repro.engine.backend`): ``"packed"``
+grades faults on the compiled bit-parallel engine (64 patterns per machine
+word, cone-restricted re-evaluation, real fault dropping), ``"naive"`` keeps
+the original dict-walking implementation as the reference oracle.  Both
+produce bit-identical results; the default is resolved through the backend
+registry (``REPRO_BACKEND`` environment variable, ``packed`` otherwise).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
 from repro.atpg.faults import StuckAtFault
-from repro.circuit.gates import GateType, evaluate_bool
 from repro.circuit.netlist import Circuit
-from repro.circuit.simulator import LogicSimulator
 from repro.cubes.cube import TestSet
+from repro.engine.backend import SimulationBackend, get_backend
+from repro.engine.fault import FaultSimulationResult
 
-
-@dataclass
-class FaultSimulationResult:
-    """Outcome of fault-simulating a pattern set against a fault list.
-
-    Attributes:
-        detected: mapping from fault to the index of the first detecting
-            pattern.
-        undetected: faults no pattern detected.
-        n_patterns: number of patterns simulated.
-    """
-
-    detected: Dict[StuckAtFault, int] = field(default_factory=dict)
-    undetected: List[StuckAtFault] = field(default_factory=list)
-    n_patterns: int = 0
-
-    @property
-    def coverage(self) -> float:
-        """Fault coverage over the supplied fault list (1.0 when empty)."""
-        total = len(self.detected) + len(self.undetected)
-        return len(self.detected) / total if total else 1.0
-
-    @property
-    def detected_count(self) -> int:
-        """Number of detected faults."""
-        return len(self.detected)
+__all__ = ["FaultSimulationResult", "FaultSimulator"]
 
 
 class FaultSimulator:
-    """Serial-fault / parallel-pattern stuck-at fault simulator."""
+    """Serial-fault / parallel-pattern stuck-at fault simulator.
 
-    def __init__(self, circuit: Circuit) -> None:
-        circuit.validate()
-        self.circuit = circuit
-        self._logic = LogicSimulator(circuit)
-        self._order = circuit.topological_order()
-        self._order_rank = {net: i for i, net in enumerate(self._order)}
-        self._fanout = circuit.fanout_map()
-        self._outputs = circuit.combinational_outputs
-        self._output_set = set(self._outputs)
+    Args:
+        circuit: circuit under test (validated and compiled once).
+        backend: backend name (``"packed"``, ``"naive"``) or a
+            :class:`~repro.engine.backend.SimulationBackend` instance; the
+            registry default applies when omitted.
+    """
 
-    # -- internals -----------------------------------------------------------
-    def _downstream_cone(self, net: str) -> List[str]:
-        """Combinational gates reachable from ``net``, in topological order."""
-        seen: set = set()
-        stack = [net]
-        while stack:
-            current = stack.pop()
-            for reader in self._fanout.get(current, []):
-                if reader in seen:
-                    continue
-                gate = self.circuit.get_gate(reader)
-                if gate.gate_type.is_sequential:
-                    continue
-                seen.add(reader)
-                stack.append(reader)
-        return sorted(seen, key=lambda name: self._order_rank.get(name, 0))
-
-    def _simulate_fault(
+    def __init__(
         self,
-        fault: StuckAtFault,
-        good_values: Dict[str, np.ndarray],
-        n_patterns: int,
-    ) -> np.ndarray:
-        """Return a boolean array marking the patterns that detect ``fault``."""
-        faulty: Dict[str, np.ndarray] = {}
-        forced = np.full(n_patterns, bool(fault.stuck_value))
-        faulty[fault.net] = forced
-        # If the faulty net is itself observable, a difference there detects it.
-        detected = np.zeros(n_patterns, dtype=bool)
-        if fault.net in self._output_set:
-            detected |= good_values[fault.net] != forced
+        circuit: Circuit,
+        backend: Union[str, SimulationBackend, None] = None,
+    ) -> None:
+        self.circuit = circuit
+        self.backend = get_backend(backend)
+        self._impl = self.backend.fault_simulator(circuit)
 
-        for name in self._downstream_cone(fault.net):
-            gate = self.circuit.get_gate(name)
-            if gate.gate_type is GateType.CONST0:
-                value = np.zeros(n_patterns, dtype=bool)
-            elif gate.gate_type is GateType.CONST1:
-                value = np.ones(n_patterns, dtype=bool)
-            else:
-                inputs = [faulty.get(net, good_values[net]) for net in gate.inputs]
-                value = evaluate_bool(gate.gate_type, inputs)
-            faulty[name] = value
-            if name in self._output_set:
-                detected |= value != good_values[name]
-        return detected
+    @property
+    def last_run_stats(self) -> dict:
+        """Work counters of the most recent :meth:`run` (see engine docs)."""
+        return dict(self._impl.last_run_stats)
 
     # -- public API -------------------------------------------------------------
     def run(
@@ -123,37 +70,15 @@ class FaultSimulator:
         Args:
             patterns: fully specified pattern set over the circuit's test pins.
             faults: faults to grade.
-            drop_detected: record only the first detecting pattern per fault
-                (standard fault dropping).  The flag exists for completeness;
-                detection results are identical either way.
+            drop_detected: drop each fault once detected — later pattern
+                blocks skip its cone entirely.  Detection results (including
+                the first-detecting pattern index) are identical either way;
+                the flag only controls whether the redundant work is done.
 
         Returns:
             A :class:`FaultSimulationResult`.
         """
-        if not patterns.is_fully_specified():
-            raise ValueError("fault simulation requires fully specified patterns")
-        n_patterns = len(patterns)
-        result = FaultSimulationResult(n_patterns=n_patterns)
-        if n_patterns == 0:
-            # An empty pattern set detects nothing; there is no pin width to check.
-            result.undetected = list(faults)
-            return result
-        if patterns.n_pins != self.circuit.n_test_pins:
-            raise ValueError(
-                f"patterns have {patterns.n_pins} pins, circuit expects {self.circuit.n_test_pins}"
-            )
-
-        good_values = self._logic.simulate(patterns.matrix)
-        for fault in faults:
-            detecting = self._simulate_fault(fault, good_values, n_patterns)
-            indices = np.flatnonzero(detecting)
-            if indices.size:
-                result.detected[fault] = int(indices[0])
-            else:
-                result.undetected.append(fault)
-            if drop_detected:
-                continue
-        return result
+        return self._impl.run(patterns, faults, drop_detected=drop_detected)
 
     def detects(self, pattern_bits: np.ndarray, fault: StuckAtFault) -> bool:
         """``True`` when a single fully specified pattern detects ``fault``."""

@@ -57,6 +57,7 @@ class Circuit:
         self._outputs: List[str] = []
         self._gates: Dict[str, Gate] = {}
         self._order_cache: Optional[List[str]] = None
+        self._structure_token: Optional[object] = None
 
     # -- construction -----------------------------------------------------
     def add_input(self, name: str) -> None:
@@ -67,6 +68,7 @@ class Circuit:
             raise CircuitError(f"net {name!r} already driven by a gate")
         self._inputs.append(name)
         self._order_cache = None
+        self._structure_token = None
 
     def add_output(self, name: str) -> None:
         """Declare a primary output net (must be driven by a PI or a gate)."""
@@ -74,6 +76,7 @@ class Circuit:
             raise CircuitError(f"duplicate primary output {name!r}")
         self._outputs.append(name)
         self._order_cache = None
+        self._structure_token = None
 
     def add_gate(self, output: str, gate_type: GateType, inputs: Sequence[str]) -> Gate:
         """Add a gate driving net ``output``; returns the created gate."""
@@ -84,6 +87,7 @@ class Circuit:
         gate = Gate(output=output, gate_type=gate_type, inputs=tuple(inputs))
         self._gates[output] = gate
         self._order_cache = None
+        self._structure_token = None
         return gate
 
     # -- basic views ---------------------------------------------------------
@@ -219,6 +223,20 @@ class Circuit:
             raise CircuitError("combinational logic contains a cycle")
         self._order_cache = order
         return list(order)
+
+    def structure_token(self) -> object:
+        """Opaque token identifying the current netlist structure.
+
+        The returned sentinel compares by identity: two calls return the
+        *same* object for as long as the circuit is not mutated, and a
+        different one after any ``add_input`` / ``add_output`` /
+        ``add_gate``.  Callers (e.g. the engine's compiled-program cache)
+        use it to detect stale derived data without hashing the whole
+        netlist.  The token carries no state of its own.
+        """
+        if self._structure_token is None:
+            self._structure_token = object()
+        return self._structure_token
 
     def levelize(self) -> Dict[str, int]:
         """Logic depth of every net (sources at level 0)."""

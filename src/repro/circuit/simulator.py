@@ -10,6 +10,12 @@ Two simulators share the same levelised evaluation order:
 * :class:`ThreeValuedSimulator` — scalar 0/1/X simulation over a single
   partially specified assignment, used by PODEM to decide implications and
   X-path reachability.
+
+``LogicSimulator`` is the *reference* two-valued implementation and the
+parity oracle for the compiled bit-parallel engine in :mod:`repro.engine`;
+production paths resolve their simulator through
+:func:`repro.engine.backend.get_backend` instead of instantiating it
+directly.
 """
 
 from __future__ import annotations
@@ -22,6 +28,28 @@ from repro.circuit.gates import GateType, evaluate_bool, evaluate_ternary
 from repro.circuit.netlist import Circuit
 from repro.cubes.bits import ONE, X, ZERO
 from repro.cubes.cube import TestSet
+
+
+def check_pattern_matrix(patterns: np.ndarray, n_pins: int) -> np.ndarray:
+    """Validate and normalise a pattern matrix to ``(n_patterns, n_pins)`` bool.
+
+    The single validation authority for two-valued simulation: the naive
+    simulator and every engine backend share it, so error cases and messages
+    cannot diverge between backends.
+
+    Raises:
+        ValueError: for wrong shapes or patterns still containing X bits.
+    """
+    patterns = np.asarray(patterns)
+    if patterns.ndim != 2 or patterns.shape[1] != n_pins:
+        raise ValueError(
+            f"patterns must have shape (n, {n_pins}), got {patterns.shape}"
+        )
+    if patterns.dtype != bool:
+        if (patterns == X).any():
+            raise ValueError("two-valued simulation requires fully specified patterns")
+        patterns = patterns.astype(bool)
+    return patterns
 
 
 class LogicSimulator:
@@ -41,16 +69,7 @@ class LogicSimulator:
 
     # -- helpers -----------------------------------------------------------
     def _check_patterns(self, patterns: np.ndarray) -> np.ndarray:
-        patterns = np.asarray(patterns)
-        if patterns.ndim != 2 or patterns.shape[1] != len(self._input_pins):
-            raise ValueError(
-                f"patterns must have shape (n, {len(self._input_pins)}), got {patterns.shape}"
-            )
-        if patterns.dtype != bool:
-            if (patterns == X).any():
-                raise ValueError("two-valued simulation requires fully specified patterns")
-            patterns = patterns.astype(bool)
-        return patterns
+        return check_pattern_matrix(patterns, len(self._input_pins))
 
     # -- simulation --------------------------------------------------------------
     def simulate(self, patterns: np.ndarray) -> Dict[str, np.ndarray]:
@@ -107,6 +126,19 @@ class LogicSimulator:
         """
         values = self.simulate(patterns)
         return {net: arr[1:] != arr[:-1] for net, arr in values.items()}
+
+    def net_value_matrix(self, patterns: np.ndarray) -> "tuple[List[str], np.ndarray]":
+        """All net values as ``(names, (n_nets, n_patterns) bool matrix)``.
+
+        Row order is the simulation order (test pins, then topological gate
+        order) — the same contract as the packed engine's implementation, so
+        consumers like the switching-activity model are backend-agnostic.
+        """
+        values = self.simulate(patterns)
+        names = list(values.keys())
+        if not names:
+            return names, np.zeros((0, np.asarray(patterns).shape[0]), dtype=bool)
+        return names, np.vstack([values[net] for net in names])
 
 
 class ThreeValuedSimulator:

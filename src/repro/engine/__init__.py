@@ -1,0 +1,59 @@
+"""Compiled bit-packed simulation engine with pluggable backends.
+
+The engine compiles a :class:`~repro.circuit.netlist.Circuit` once into a
+flat array program (:mod:`repro.engine.compile`), evaluates it bit-parallel
+with 64 patterns per machine word (:mod:`repro.engine.packed`), and grades
+fault lists with cone-restricted re-evaluation and real fault dropping
+(:mod:`repro.engine.fault`).  :mod:`repro.engine.backend` exposes the
+registry through which the ATPG, power and experiment layers pick an
+implementation without changing their public APIs.
+"""
+
+from repro.engine.backend import (
+    BACKEND_ENV_VAR,
+    DEFAULT_BACKEND_NAME,
+    NaiveBackend,
+    PackedBackend,
+    SimulationBackend,
+    available_backends,
+    default_backend_name,
+    get_backend,
+    register_backend,
+    set_default_backend,
+)
+from repro.engine.compile import CompiledCircuit, compile_circuit
+from repro.engine.fault import (
+    DROP_BLOCK_PATTERNS,
+    FaultSimulationResult,
+    NaiveFaultSimulator,
+    PackedFaultSimulator,
+)
+from repro.engine.packed import (
+    LANE_MODE_MAX_PATTERNS,
+    PackedLogicSimulator,
+    pack_patterns,
+    unpack_values,
+)
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "DEFAULT_BACKEND_NAME",
+    "DROP_BLOCK_PATTERNS",
+    "LANE_MODE_MAX_PATTERNS",
+    "CompiledCircuit",
+    "FaultSimulationResult",
+    "NaiveBackend",
+    "NaiveFaultSimulator",
+    "PackedBackend",
+    "PackedFaultSimulator",
+    "PackedLogicSimulator",
+    "SimulationBackend",
+    "available_backends",
+    "compile_circuit",
+    "default_backend_name",
+    "get_backend",
+    "pack_patterns",
+    "register_backend",
+    "set_default_backend",
+    "unpack_values",
+]

@@ -1,0 +1,269 @@
+"""Bit-parallel (pattern-packed) logic simulation over a compiled program.
+
+Patterns are packed 64 per ``uint64`` machine word: bit ``j`` of word ``w``
+holds pattern ``w * 64 + j``, so one bitwise instruction evaluates a gate for
+64 patterns at once.  :class:`PackedLogicSimulator` exposes the same surface
+as :class:`repro.circuit.simulator.LogicSimulator` (``simulate`` /
+``observe_outputs`` / ``gate_activity``) and is value-identical to it, which
+the engine parity tests assert bit-for-bit.
+
+Two execution strategies share the compiled program:
+
+* ``"lanes"`` — each net's packed words are fused into one arbitrary-width
+  python integer ("lane").  CPython big-int bitwise ops run in C over 30-bit
+  limbs with ~100 ns dispatch, which beats NumPy's ~1 µs per-call overhead by
+  an order of magnitude for the narrow pattern sets (tens to a few thousand
+  patterns) ATPG grading uses.  This is the fault-simulation workhorse.
+* ``"words"`` — a dense ``(n_nets, n_words)`` ``uint64`` table evaluated with
+  vectorised NumPy bitwise ops over the pre-grouped ``(level, op, arity)``
+  node classes.  Per-call overhead is amortised across every gate of a
+  group, so this wins once pattern sets grow wide (SIMD over many words).
+
+``mode="auto"`` (the default) picks lanes below
+:data:`LANE_MODE_MAX_PATTERNS` and words above.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuit.netlist import Circuit
+from repro.circuit.simulator import check_pattern_matrix
+from repro.cubes.cube import TestSet
+from repro.engine.compile import (
+    CompiledCircuit,
+    INVERTING_OPS,
+    OP_AND,
+    OP_BUF,
+    OP_CONST0,
+    OP_CONST1,
+    OP_NAND,
+    OP_NOR,
+    OP_NOT,
+    OP_OR,
+    OP_XNOR,
+    OP_XOR,
+    compile_circuit,
+)
+
+#: ``mode="auto"`` switches from big-int lanes to the NumPy word table above
+#: this many patterns (lanes win on dispatch overhead, words win on SIMD).
+LANE_MODE_MAX_PATTERNS = 4096
+
+WORD_BITS = 64
+
+
+# -- packing ---------------------------------------------------------------
+def pack_patterns(matrix: np.ndarray) -> np.ndarray:
+    """Pack a ``(n_patterns, n_pins)`` bool matrix into uint64 words.
+
+    Returns a ``(n_pins, n_words)`` ``uint64`` array with bit ``j`` of word
+    ``w`` holding pattern ``w * 64 + j`` (little-endian bit order).
+    """
+    n_patterns, n_pins = matrix.shape
+    n_words = (n_patterns + WORD_BITS - 1) // WORD_BITS
+    packed_bytes = np.packbits(matrix.T, axis=1, bitorder="little")
+    padded = np.zeros((n_pins, n_words * 8), dtype=np.uint8)
+    padded[:, : packed_bytes.shape[1]] = packed_bytes
+    return padded.view("<u8")
+
+
+def unpack_values(words: np.ndarray, n_patterns: int) -> np.ndarray:
+    """Unpack a ``(rows, n_words)`` uint64 table to ``(rows, n_patterns)`` bool."""
+    if words.size == 0:
+        return np.zeros((words.shape[0], n_patterns), dtype=bool)
+    as_bytes = np.ascontiguousarray(words.astype("<u8", copy=False)).view(np.uint8)
+    bits = np.unpackbits(as_bytes, axis=1, bitorder="little")
+    return bits[:, :n_patterns].astype(bool)
+
+
+def pack_lanes(matrix: np.ndarray) -> List[int]:
+    """Pack each column of a bool matrix into one python big-int lane.
+
+    Bit ``j`` of lane ``p`` is pattern ``j`` of pin ``p`` — the same bit
+    order as :func:`pack_patterns`, just without the 64-bit word seams.
+    """
+    packed_bytes = np.packbits(matrix.T, axis=1, bitorder="little")
+    return [int.from_bytes(row.tobytes(), "little") for row in packed_bytes]
+
+
+def lanes_to_matrix(lanes: Sequence[int], n_patterns: int) -> np.ndarray:
+    """Expand big-int lanes back into a ``(len(lanes), n_patterns)`` bool matrix."""
+    n_bytes = max((n_patterns + 7) // 8, 1)
+    buffer = bytearray(len(lanes) * n_bytes)
+    offset = 0
+    for lane in lanes:
+        buffer[offset : offset + n_bytes] = lane.to_bytes(n_bytes, "little")
+        offset += n_bytes
+    as_bytes = np.frombuffer(buffer, dtype=np.uint8).reshape(len(lanes), n_bytes)
+    bits = np.unpackbits(as_bytes, axis=1, bitorder="little")
+    return bits[:, :n_patterns].astype(bool)
+
+
+# -- lane evaluation -------------------------------------------------------
+def evaluate_lanes(
+    program: CompiledCircuit, input_lanes: Sequence[int], mask: int
+) -> List[int]:
+    """Evaluate the compiled program over big-int lanes.
+
+    Args:
+        program: compiled circuit.
+        input_lanes: one lane per test pin (rows ``0..n_inputs-1``).
+        mask: ``(1 << n_patterns) - 1``; inverting ops XOR against it so no
+            garbage bits ever exist beyond the pattern count.
+
+    Returns:
+        One lane per value-table row, in row order.
+    """
+    values: List[int] = [0] * program.n_nets
+    values[: program.n_inputs] = list(input_lanes)
+    for op, out, src in program.node_prog:
+        if op == OP_AND or op == OP_NAND:
+            acc = values[src[0]]
+            for row in src[1:]:
+                acc &= values[row]
+            if op == OP_NAND:
+                acc ^= mask
+        elif op == OP_OR or op == OP_NOR:
+            acc = values[src[0]]
+            for row in src[1:]:
+                acc |= values[row]
+            if op == OP_NOR:
+                acc ^= mask
+        elif op == OP_XOR or op == OP_XNOR:
+            acc = values[src[0]]
+            for row in src[1:]:
+                acc ^= values[row]
+            if op == OP_XNOR:
+                acc ^= mask
+        elif op == OP_NOT:
+            acc = values[src[0]] ^ mask
+        elif op == OP_BUF:
+            acc = values[src[0]]
+        elif op == OP_CONST0:
+            acc = 0
+        else:  # OP_CONST1
+            acc = mask
+        values[out] = acc
+    return values
+
+
+# -- word-table evaluation -------------------------------------------------
+def evaluate_words(program: CompiledCircuit, packed_inputs: np.ndarray) -> np.ndarray:
+    """Evaluate the compiled program over a uint64 word table.
+
+    Args:
+        program: compiled circuit.
+        packed_inputs: ``(n_inputs, n_words)`` uint64 array from
+            :func:`pack_patterns`.
+
+    Returns:
+        The full ``(n_nets, n_words)`` value table.  Bits beyond the pattern
+        count in the last word are unspecified (inverting ops leave garbage
+        there); consumers mask or slice them away.
+    """
+    n_words = packed_inputs.shape[1]
+    table = np.zeros((program.n_nets, n_words), dtype=np.uint64)
+    table[: program.n_inputs] = packed_inputs
+    ones = np.uint64(0xFFFFFFFFFFFFFFFF)
+    for group in program.groups:
+        op = group.op
+        if op == OP_CONST0:
+            continue  # table rows start zeroed
+        if op == OP_CONST1:
+            table[group.out_rows] = ones
+            continue
+        gathered = table[group.in_rows]  # (n_gates, arity, n_words)
+        if op in (OP_AND, OP_NAND):
+            result = np.bitwise_and.reduce(gathered, axis=1)
+        elif op in (OP_OR, OP_NOR):
+            result = np.bitwise_or.reduce(gathered, axis=1)
+        elif op in (OP_XOR, OP_XNOR):
+            result = np.bitwise_xor.reduce(gathered, axis=1)
+        else:  # BUF / NOT
+            result = gathered[:, 0]
+        if op in INVERTING_OPS:
+            result = ~result
+        table[group.out_rows] = result
+    return table
+
+
+class PackedLogicSimulator:
+    """Bit-parallel two-valued simulator (drop-in for ``LogicSimulator``).
+
+    Args:
+        circuit: circuit to simulate; compiled once at construction.
+        mode: ``"auto"`` (default), ``"lanes"`` or ``"words"`` — see the
+            module docstring for the trade-off.
+        program: reuse an already-compiled program for ``circuit`` (the
+            packed backend shares one per circuit); compiled here if omitted.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        mode: str = "auto",
+        program: Optional[CompiledCircuit] = None,
+    ) -> None:
+        if mode not in ("auto", "lanes", "words"):
+            raise ValueError(f"unknown packed mode {mode!r}")
+        self.circuit = circuit
+        self.mode = mode
+        self.program = program if program is not None else compile_circuit(circuit)
+
+    # -- internals ---------------------------------------------------------
+    def _use_lanes(self, n_patterns: int) -> bool:
+        if self.mode == "auto":
+            return n_patterns <= LANE_MODE_MAX_PATTERNS
+        return self.mode == "lanes"
+
+    def _value_matrix(self, patterns: np.ndarray) -> np.ndarray:
+        """Full ``(n_nets, n_patterns)`` bool value table for ``patterns``."""
+        matrix = check_pattern_matrix(patterns, self.program.n_inputs)
+        n_patterns = matrix.shape[0]
+        if n_patterns == 0:
+            return np.zeros((self.program.n_nets, 0), dtype=bool)
+        if self._use_lanes(n_patterns):
+            mask = (1 << n_patterns) - 1
+            lanes = evaluate_lanes(self.program, pack_lanes(matrix), mask)
+            return lanes_to_matrix(lanes, n_patterns)
+        table = evaluate_words(self.program, pack_patterns(matrix))
+        return unpack_values(table, n_patterns)
+
+    # -- LogicSimulator-compatible surface ---------------------------------
+    def simulate(self, patterns: np.ndarray) -> Dict[str, np.ndarray]:
+        """Evaluate every net for every pattern (net name -> bool column).
+
+        The returned columns are row views of one dense matrix (already
+        contiguous); treat them as read-only.
+        """
+        values = self._value_matrix(patterns)
+        return {net: values[row] for row, net in enumerate(self.program.net_names)}
+
+    def simulate_test_set(self, patterns: TestSet) -> Dict[str, np.ndarray]:
+        """Simulate a fully specified :class:`TestSet` (convenience wrapper)."""
+        return self.simulate(patterns.matrix)
+
+    def observe_outputs(self, patterns: np.ndarray) -> np.ndarray:
+        """Observable responses, one row per pattern (see ``LogicSimulator``)."""
+        values = self._value_matrix(patterns)
+        return np.ascontiguousarray(values[self.program.output_rows].T)
+
+    def gate_activity(self, patterns: np.ndarray) -> Dict[str, np.ndarray]:
+        """Per-net toggle indicators between consecutive patterns."""
+        values = self._value_matrix(patterns)
+        toggles = values[:, 1:] != values[:, :-1]
+        return {net: toggles[row] for row, net in enumerate(self.program.net_names)}
+
+    # -- engine-native fast path -------------------------------------------
+    def net_value_matrix(self, patterns: np.ndarray) -> Tuple[List[str], np.ndarray]:
+        """All net values as one matrix (``(names, (n_nets, n_patterns))``).
+
+        The row order matches ``LogicSimulator``'s net dictionary order
+        (test pins, then topological order), so downstream consumers — the
+        switching-activity model in particular — get bit-identical inputs
+        from either backend.
+        """
+        return list(self.program.net_names), self._value_matrix(patterns)

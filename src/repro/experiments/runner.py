@@ -6,6 +6,7 @@ Installed as ``dpfill-experiments``.  Typical invocations::
     dpfill-experiments --artifacts 2,4,5    # only Tables II, IV and V
     dpfill-experiments --benchmarks b03,b08 # restrict the benchmark set
     dpfill-experiments --out results.txt    # also write the report to a file
+    dpfill-experiments --backend naive      # force the reference simulator
     REPRO_INCLUDE_LARGE=1 dpfill-experiments  # include scaled b14-b22
 """
 
@@ -16,6 +17,12 @@ import sys
 import time
 from typing import Dict, List, Optional
 
+from repro.engine.backend import (
+    available_backends,
+    default_backend_name,
+    get_backend,
+    set_default_backend,
+)
 from repro.experiments import figure1, figure2, table1, table2, table3, table4, table5, table6
 from repro.experiments.report import TableResult, render_table
 from repro.experiments.workloads import default_workload_names
@@ -73,6 +80,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=0, help="workload seed (default 0)")
     parser.add_argument("--out", default="", help="also write the report to this file")
+    parser.add_argument(
+        "--backend",
+        default=None,
+        choices=available_backends(),
+        help="simulation backend for every table (default: REPRO_BACKEND or 'packed')",
+    )
     return parser
 
 
@@ -81,19 +94,33 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     artifacts = [a.strip() for a in args.artifacts.split(",") if a.strip()]
     names = [n.strip() for n in args.benchmarks.split(",") if n.strip()] or None
+    previous_backend = set_default_backend(args.backend) if args.backend else None
+    try:
+        # Fail fast on a mistyped REPRO_BACKEND before any output is produced.
+        # Only the env-var path can fail here: a --backend value was already
+        # validated by argparse choices and applied above.
+        get_backend()
+    except KeyError as err:
+        print(f"dpfill-experiments: error: {err.args[0]}", file=sys.stderr)
+        return 2
 
     lines: List[str] = []
     lines.append("DP-fill reproduction - experiment report")
     lines.append(f"benchmarks: {names or default_workload_names()}")
+    lines.append(f"simulation backend: {default_backend_name()}")
     lines.append("")
 
-    start = time.time()
-    for artifact in artifacts:
-        tables = _collect(artifact, names, args.seed)
-        for table in tables:
-            lines.append(render_table(table))
-            lines.append("")
-    lines.append(f"total runtime: {time.time() - start:.1f} s")
+    try:
+        start = time.time()
+        for artifact in artifacts:
+            tables = _collect(artifact, names, args.seed)
+            for table in tables:
+                lines.append(render_table(table))
+                lines.append("")
+        lines.append(f"total runtime: {time.time() - start:.1f} s")
+    finally:
+        if args.backend:
+            set_default_backend(previous_backend)
 
     report = "\n".join(lines)
     print(report)

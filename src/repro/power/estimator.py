@@ -14,13 +14,13 @@ input-vs-circuit-toggle correlation argument.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Union
 
 import numpy as np
 
 from repro.circuit.netlist import Circuit
-from repro.circuit.simulator import LogicSimulator
 from repro.cubes.cube import TestSet
+from repro.engine.backend import SimulationBackend, get_backend
 from repro.power.capacitance import CapacitanceModel, TechnologyParameters, extract_capacitances
 from repro.power.switching import SwitchingActivity, weighted_switching_activity
 
@@ -62,6 +62,10 @@ class PowerEstimator:
         circuit: circuit under test.
         technology: technology constants (45 nm-flavoured defaults).
         seed: seed of the synthetic capacitance extraction.
+        backend: simulation backend name (or instance) used for the
+            underlying logic simulation; the registry default applies when
+            omitted.  Both built-in backends produce bit-identical power
+            figures.
     """
 
     def __init__(
@@ -69,11 +73,12 @@ class PowerEstimator:
         circuit: Circuit,
         technology: TechnologyParameters = TechnologyParameters(),
         seed: int = 0,
+        backend: Union[str, SimulationBackend, None] = None,
     ) -> None:
         self.circuit = circuit
         self.technology = technology
         self.capacitance: CapacitanceModel = extract_capacitances(circuit, technology, seed=seed)
-        self._simulator = LogicSimulator(circuit)
+        self._simulator = get_backend(backend).logic_simulator(circuit)
 
     def estimate(self, patterns: TestSet) -> PowerReport:
         """Estimate capture power for an ordered, filled pattern set."""

@@ -9,13 +9,14 @@ dynamic power is proportional to.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Optional
 
 import numpy as np
 
 from repro.circuit.netlist import Circuit
-from repro.circuit.simulator import LogicSimulator
+from repro.circuit.simulator import check_pattern_matrix
 from repro.cubes.cube import TestSet
+from repro.engine.backend import get_backend
 from repro.power.capacitance import CapacitanceModel, extract_capacitances
 
 
@@ -69,7 +70,7 @@ def weighted_switching_activity(
     circuit: Circuit,
     patterns: TestSet,
     capacitance: Optional[CapacitanceModel] = None,
-    simulator: Optional[LogicSimulator] = None,
+    simulator: Optional[object] = None,
 ) -> SwitchingActivity:
     """Compute per-boundary (capture-cycle) switching activity.
 
@@ -77,25 +78,37 @@ def weighted_switching_activity(
         circuit: circuit under test.
         patterns: ordered, fully specified pattern set over the test pins.
         capacitance: per-net capacitances; extracted with defaults if omitted.
-        simulator: optionally reuse a prebuilt :class:`LogicSimulator` (the
-            experiment harness evaluates many fills on the same circuit).
+        simulator: optionally reuse a prebuilt logic simulator — any engine
+            backend simulator or the naive ``LogicSimulator`` (the experiment
+            harness evaluates many fills on the same circuit).  When omitted,
+            one is resolved through the backend registry.  Simulators
+            exposing ``net_value_matrix`` (both built-in backends do) skip
+            the per-net dictionary round trip entirely.
 
     Raises:
         ValueError: if the pattern set still contains X bits.
     """
     if not patterns.is_fully_specified():
         raise ValueError("switching activity requires fully specified patterns")
-    capacitance = capacitance or extract_capacitances(circuit)
-    simulator = simulator or LogicSimulator(circuit)
-
-    values = simulator.simulate(patterns.matrix)
-    nets: List[str] = list(values.keys())
-    n_boundaries = max(len(patterns) - 1, 0)
-    if n_boundaries == 0:
+    if len(patterns) <= 1:
+        # No boundaries: skip the simulation entirely, but validate the
+        # circuit and the pattern shape the same way a full run would.
+        circuit.validate()
+        check_pattern_matrix(patterns.matrix, circuit.n_test_pins)
         empty = np.zeros(0)
         return SwitchingActivity(circuit.name, empty.astype(np.int64), empty, empty.astype(np.int64))
+    capacitance = capacitance or extract_capacitances(circuit)
+    if simulator is None:
+        simulator = get_backend().logic_simulator(circuit)
 
-    value_matrix = np.vstack([values[net] for net in nets])  # (n_nets, n_patterns)
+    matrix_getter = getattr(simulator, "net_value_matrix", None)
+    if matrix_getter is not None:
+        nets, value_matrix = matrix_getter(patterns.matrix)
+    else:  # third-party simulator: fall back to the net dictionary surface
+        values = simulator.simulate(patterns.matrix)
+        nets = list(values.keys())
+        value_matrix = np.vstack([values[net] for net in nets])
+
     toggle_matrix = value_matrix[:, 1:] != value_matrix[:, :-1]
     caps = capacitance.as_array(nets)
 

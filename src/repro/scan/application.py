@@ -26,9 +26,9 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.circuit.netlist import Circuit
-from repro.circuit.simulator import LogicSimulator
 from repro.cubes.cube import TestSet
 from repro.cubes.metrics import toggle_profile
+from repro.engine.backend import get_backend
 from repro.scan.chain import ScanConfiguration, build_scan_chains
 
 
@@ -117,11 +117,19 @@ class ScanTestApplication:
         self.scheme = scheme
         self.state_preserving_dft = state_preserving_dft
         self.scan_config = scan_config or build_scan_chains(circuit)
-        self._simulator: Optional[LogicSimulator] = None
+        self._simulator: Optional[object] = None
 
     def _circuit_toggles(self, patterns: TestSet) -> np.ndarray:
         if self._simulator is None:
-            self._simulator = LogicSimulator(self.circuit)
+            # Resolved through the backend registry so the packed engine
+            # serves scan-application traces too (REPRO_BACKEND overrides).
+            self._simulator = get_backend().logic_simulator(self.circuit)
+        matrix_getter = getattr(self._simulator, "net_value_matrix", None)
+        if matrix_getter is not None:
+            _, values = matrix_getter(patterns.matrix)
+            if values.size == 0:
+                return np.zeros(max(len(patterns) - 1, 0), dtype=np.int64)
+            return (values[:, 1:] != values[:, :-1]).sum(axis=0).astype(np.int64)
         activity = self._simulator.gate_activity(patterns.matrix)
         if not activity:
             return np.zeros(max(len(patterns) - 1, 0), dtype=np.int64)
