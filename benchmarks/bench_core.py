@@ -8,12 +8,15 @@ and they back the scalability statement in the README.
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
-from repro.core.bcp import bcp_lower_bound, solve_bcp
+from repro.core.bcp import bcp_lower_bound, solve_bcp, solve_weighted_bcp
 from repro.core.dpfill import dp_fill
-from repro.core.intervals import extract_intervals
+from repro.core.intervals import ExtractionPlan, extract_intervals
 from repro.core.ordering import interleaved_ordering
+from repro.cubes.cube import TestSet
 from repro.cubes.generator import CubeSetSpec, generate_cube_set
 
 
@@ -21,6 +24,19 @@ def _cube_set(n_pins: int, n_patterns: int, seed: int = 1):
     return generate_cube_set(
         CubeSetSpec(n_pins=n_pins, n_patterns=n_patterns, x_fraction=0.8, seed=seed)
     )
+
+
+def _scratch_evaluator(candidate: TestSet) -> int:
+    """The pre-reuse evaluation path: full re-extraction + full solve.
+
+    This is what every candidate ``k`` of the I-Ordering search cost before
+    the :class:`ExtractionPlan` reuse landed; the benchmark keeps it around
+    as the baseline the reuse is measured against.
+    """
+    if len(candidate) < 2:
+        return 0
+    extraction = extract_intervals(candidate)
+    return solve_weighted_bcp(extraction.intervals, extraction.base_toggles).peak
 
 
 @pytest.mark.parametrize("n_pins,n_patterns", [(100, 50), (300, 100), (600, 200)])
@@ -55,3 +71,62 @@ def test_bench_interleaved_ordering(benchmark):
     cubes = _cube_set(200, 120)
     result = benchmark(lambda: interleaved_ordering(cubes))
     assert result.peak is not None
+
+
+# -- I-Ordering evaluation: extraction reuse vs re-extraction ---------------
+@pytest.mark.parametrize("n_pins,n_patterns", [(200, 120), (400, 400)])
+def test_bench_ordering_search_scratch(benchmark, n_pins, n_patterns):
+    """Baseline: every candidate k re-extracts and re-solves from scratch."""
+    cubes = _cube_set(n_pins, n_patterns)
+    result = benchmark(lambda: interleaved_ordering(cubes, evaluator=_scratch_evaluator))
+    assert result.peak is not None
+
+
+@pytest.mark.parametrize("n_pins,n_patterns", [(200, 120), (400, 400)])
+def test_bench_ordering_search_reused(benchmark, n_pins, n_patterns):
+    """Default path: one ExtractionPlan, permuted per candidate k."""
+    cubes = _cube_set(n_pins, n_patterns)
+    result = benchmark(lambda: interleaved_ordering(cubes))
+    assert result.peak is not None
+
+
+def main() -> int:
+    """Standalone mode: quantify the extraction-reuse win in the search.
+
+    Prints, per cube-set size, the wall-clock of the I-Ordering search with
+    the scratch evaluator vs the plan-reuse default (results asserted equal
+    first), plus the per-candidate evaluation cost of both paths.
+    """
+    sizes = [(200, 120), (400, 400), (600, 600)]
+    print(f"{'cube set':>12} {'scratch (ms)':>13} {'reused (ms)':>12} {'speedup':>8}")
+    print("-" * 49)
+    worst = float("inf")
+    for n_pins, n_patterns in sizes:
+        cubes = _cube_set(n_pins, n_patterns)
+        slow = interleaved_ordering(cubes, evaluator=_scratch_evaluator)
+        fast = interleaved_ordering(cubes)
+        assert slow.permutation == fast.permutation and slow.peak == fast.peak
+        t_slow = t_fast = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            interleaved_ordering(cubes, evaluator=_scratch_evaluator)
+            t_slow = min(t_slow, time.perf_counter() - start)
+            start = time.perf_counter()
+            interleaved_ordering(cubes)
+            t_fast = min(t_fast, time.perf_counter() - start)
+        speedup = t_slow / t_fast
+        worst = min(worst, speedup)
+        print(
+            f"{n_pins:>5}x{n_patterns:<6} {t_slow * 1000:>13.1f} {t_fast * 1000:>12.1f} "
+            f"{speedup:>7.1f}x"
+        )
+    if worst < 1.0:
+        print("WARNING: extraction reuse slower than re-extraction")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -1,4 +1,4 @@
-"""Naive vs packed simulation-backend benchmarks.
+"""Naive vs packed vs sharded simulation-backend benchmarks.
 
 Two entry points:
 
@@ -8,19 +8,31 @@ Two entry points:
 * ``PYTHONPATH=src python benchmarks/bench_engine.py`` — a standalone
   speedup report (wall-clock, a fresh simulator per run, resolved through
   the backend registry exactly like production callers; the packed
-  backend's compile-once program cache is therefore in play, as designed)
-  used to record the headline numbers in ``CHANGES.md``.  Results are
-  asserted identical between backends before any timing is reported.
+  backend's compile-once program cache and the sharded backend's persistent
+  worker pool are therefore in play, as designed) used to record the
+  headline numbers in ``CHANGES.md``.  Results are asserted identical
+  between all backends before any timing is reported, and the full timing
+  table is also written to ``BENCH_engine.json`` (per profile, per backend,
+  plus speedups and the git SHA) so the perf trajectory is machine-readable
+  from PR 2 onward.
 
-The fault-simulation run on the largest profile is the acceptance gate for
-the engine subsystem: the packed backend must be at least 5x faster.
+Acceptance gates on the largest profile's fault-simulation run:
+
+* packed must be at least 5x faster than naive (the engine-subsystem gate);
+* sharded must be at least 2x faster than packed with 4 workers — enforced
+  only when the machine actually has 4+ cores (process parallelism cannot
+  beat a serial run on fewer), reported informationally otherwise.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import subprocess
+import sys
 import time
-from typing import Callable, List, Tuple
+from pathlib import Path
+from typing import Callable, Dict, List, Tuple
 
 import pytest
 
@@ -28,14 +40,22 @@ from repro.atpg.collapse import collapse_faults
 from repro.core.dpfill import dp_fill
 from repro.cubes.cube import TestSet
 from repro.engine.backend import get_backend
+from repro.engine.sharded import resolve_jobs, set_default_jobs
 from repro.experiments.workloads import Workload, build_workload, default_workload_names
 from repro.power.estimator import PowerEstimator
 
-BACKENDS = ["naive", "packed"]
+BACKENDS = ["naive", "packed", "sharded"]
+
+#: Workers the standalone sharded benchmark runs with (the acceptance gate
+#: is defined at 4 workers); override with REPRO_JOBS.
+BENCH_JOBS = 4
 
 #: Mirrors ``conftest.bench_names`` (kept local so ``python
 #: benchmarks/bench_engine.py`` works without pytest's conftest loading).
 BENCH_NAMES = ["b01", "b03", "b08", "b04", "b12"]
+
+#: Where the standalone mode drops its machine-readable results.
+BENCH_JSON = Path("BENCH_engine.json")
 
 
 def bench_names() -> List[str]:
@@ -93,17 +113,66 @@ def _time_best(build: Callable[[], Callable[[], object]], repeats: int = 3) -> T
     return best, result
 
 
+def _git_sha() -> str:
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                cwd=os.path.dirname(os.path.abspath(__file__)),
+                capture_output=True,
+                text=True,
+                timeout=10,
+                check=True,
+            ).stdout.strip()
+        )
+    except Exception:
+        return "unknown"
+
+
+def _available_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _write_json(rows: List[dict], jobs: int, largest: dict) -> None:
+    payload = {
+        "schema": 1,
+        "git_sha": _git_sha(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": sys.version.split()[0],
+        "cpu_count": os.cpu_count(),
+        "available_cores": _available_cores(),
+        "sharded_jobs": jobs,
+        "backends": list(BACKENDS),
+        "profiles": rows,
+        "largest": largest,
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {BENCH_JSON.resolve()}")
+
+
 def main() -> int:
-    """Print a naive-vs-packed speedup table over the benchmark profiles."""
+    """Print the backend speedup table; write ``BENCH_engine.json``."""
+    jobs = resolve_jobs(int(os.environ.get("REPRO_JOBS", "0") or 0) or BENCH_JOBS)
+    previous_jobs = set_default_jobs(jobs)
+    try:
+        return _main(jobs)
+    finally:
+        set_default_jobs(previous_jobs)
+
+
+def _main(jobs: int) -> int:
     names: List[str] = bench_names()
-    rows = []
+    rows: List[dict] = []
     for name in names:
         workload = build_workload(name)
         circuit = workload.circuit
         patterns = _filled_patterns(workload)
         faults = collapse_faults(circuit)
 
-        timings = {}
+        timings: Dict[str, Dict[str, float]] = {}
         results = {}
         for backend_name in BACKENDS:
             backend = get_backend(backend_name)
@@ -117,40 +186,78 @@ def main() -> int:
             t_power, _ = _time_best(
                 lambda: lambda: PowerEstimator(circuit, backend=backend_name).estimate(patterns)
             )
-            timings[backend_name] = (t_logic, t_fault, t_power)
+            timings[backend_name] = {"logic": t_logic, "fault": t_fault, "power": t_power}
             results[backend_name] = res
-        naive_res, packed_res = results["naive"], results["packed"]
-        assert list(naive_res.detected.items()) == list(packed_res.detected.items()), name
-        assert naive_res.undetected == packed_res.undetected, name
-        rows.append((name, circuit.n_gates, len(patterns), len(faults), timings))
+        reference = results["naive"]
+        for backend_name in BACKENDS[1:]:
+            other = results[backend_name]
+            assert list(reference.detected.items()) == list(other.detected.items()), (
+                name,
+                backend_name,
+            )
+            assert reference.undetected == other.undetected, (name, backend_name)
+        rows.append(
+            {
+                "circuit": name,
+                "gates": circuit.n_gates,
+                "patterns": len(patterns),
+                "faults": len(faults),
+                "seconds": timings,
+                "fault_speedup_packed_vs_naive": timings["naive"]["fault"]
+                / timings["packed"]["fault"],
+                "fault_speedup_sharded_vs_packed": timings["packed"]["fault"]
+                / timings["sharded"]["fault"],
+            }
+        )
 
     header = (
         f"{'circuit':>8} {'gates':>6} {'pats':>5} {'faults':>6} "
-        f"{'logic n/p (ms)':>16} {'fault n/p (ms)':>18} {'power n/p (ms)':>16} "
-        f"{'fault speedup':>13}"
+        f"{'fault n/p/s (ms)':>26} {'p/n speedup':>11} {'s/p speedup':>11}"
     )
     print(header)
     print("-" * len(header))
-    largest = max(rows, key=lambda row: row[1])
-    for name, gates, n_patterns, n_faults, timings in rows:
-        ln, fn, pn = (value * 1000 for value in timings["naive"])
-        lp, fp, pp = (value * 1000 for value in timings["packed"])
-        marker = "  <- largest" if name == largest[0] else ""
+    largest_row = max(rows, key=lambda row: row["gates"])
+    for row in rows:
+        fn = row["seconds"]["naive"]["fault"] * 1000
+        fp = row["seconds"]["packed"]["fault"] * 1000
+        fs = row["seconds"]["sharded"]["fault"] * 1000
+        marker = "  <- largest" if row["circuit"] == largest_row["circuit"] else ""
         print(
-            f"{name:>8} {gates:>6} {n_patterns:>5} {n_faults:>6} "
-            f"{ln:>7.1f}/{lp:<7.1f} {fn:>8.1f}/{fp:<8.1f} {pn:>7.1f}/{pp:<7.1f} "
-            f"{fn / fp:>12.1f}x{marker}"
+            f"{row['circuit']:>8} {row['gates']:>6} {row['patterns']:>5} {row['faults']:>6} "
+            f"{fn:>8.1f}/{fp:<8.1f}/{fs:<8.1f} "
+            f"{row['fault_speedup_packed_vs_naive']:>10.1f}x "
+            f"{row['fault_speedup_sharded_vs_packed']:>10.1f}x{marker}"
         )
-    name, _, _, _, timings = largest
-    speedup = timings["naive"][1] / timings["packed"][1]
-    print(f"\nlargest profile ({name}) fault-simulation speedup: {speedup:.1f}x")
-    if speedup < 5.0:
-        print("WARNING: below the 5x acceptance threshold")
-        return 1
-    return 0
+
+    packed_speedup = largest_row["fault_speedup_packed_vs_naive"]
+    sharded_speedup = largest_row["fault_speedup_sharded_vs_packed"]
+    cores = _available_cores()
+    largest = {
+        "circuit": largest_row["circuit"],
+        "fault_speedup_packed_vs_naive": packed_speedup,
+        "fault_speedup_sharded_vs_packed": sharded_speedup,
+    }
+    print(
+        f"\nlargest profile ({largest_row['circuit']}): packed {packed_speedup:.1f}x vs naive, "
+        f"sharded {sharded_speedup:.1f}x vs packed ({jobs} workers, {cores} cores available)"
+    )
+    _write_json(rows, jobs, largest)
+
+    code = 0
+    if packed_speedup < 5.0:
+        print("WARNING: packed below the 5x acceptance threshold")
+        code = 1
+    if cores >= 4:
+        if sharded_speedup < 2.0:
+            print("WARNING: sharded below the 2x acceptance threshold")
+            code = 1
+    elif sharded_speedup < 2.0:
+        print(
+            f"note: sharded gate not enforced — {cores} core(s) available, "
+            "process parallelism cannot beat a serial run here"
+        )
+    return code
 
 
 if __name__ == "__main__":
-    import sys
-
     sys.exit(main())

@@ -23,23 +23,38 @@ from repro.core.bcp import (
     solve_bcp,
     solve_weighted_bcp,
     weighted_lower_bound,
+    weighted_peak_bound,
 )
-from repro.core.dpfill import DPFillReport, dp_fill
-from repro.core.intervals import ExtractionResult, ToggleInterval, extract_intervals
+from repro.core.dpfill import (
+    DPFillReport,
+    dp_fill,
+    optimal_peak_for_ordering,
+    optimal_peak_for_permutation,
+)
+from repro.core.intervals import (
+    ExtractionPlan,
+    ExtractionResult,
+    ToggleInterval,
+    extract_intervals,
+)
 from repro.core.ordering import InterleaveStep, OrderingResult, interleaved_ordering
 
 __all__ = [
     "ToggleInterval",
+    "ExtractionPlan",
     "ExtractionResult",
     "extract_intervals",
     "BCPSolution",
     "bcp_lower_bound",
     "weighted_lower_bound",
+    "weighted_peak_bound",
     "greedy_coloring",
     "solve_bcp",
     "solve_weighted_bcp",
     "DPFillReport",
     "dp_fill",
+    "optimal_peak_for_ordering",
+    "optimal_peak_for_permutation",
     "OrderingResult",
     "InterleaveStep",
     "interleaved_ordering",

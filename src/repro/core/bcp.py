@@ -133,11 +133,31 @@ def weighted_lower_bound(
         ``max(max base load, max over windows of
         ceil((contained intervals + window base load) / window width))``.
     """
+    starts, ends = _interval_arrays(intervals)
+    return weighted_peak_bound(starts, ends, base_loads)
+
+
+def weighted_peak_bound(
+    starts: np.ndarray, ends: np.ndarray, base_loads: np.ndarray
+) -> int:
+    """:func:`weighted_lower_bound` on raw start/end arrays.
+
+    This is the evaluation primitive of the I-Ordering search: because the
+    bound is *exact* (Hall's condition reduces to contiguous windows, see
+    :func:`solve_weighted_bcp`), the optimal peak of a candidate ordering can
+    be computed from interval arrays alone — no
+    :class:`~repro.core.intervals.ToggleInterval` objects, no colouring.
+    """
     base = np.asarray(base_loads, dtype=np.int64)
     base_peak = int(base.max()) if base.size else 0
-    if not intervals:
+    starts = np.asarray(starts, dtype=np.int64)
+    ends = np.asarray(ends, dtype=np.int64)
+    if starts.size == 0:
         return base_peak
-    starts, ends = _interval_arrays(intervals)
+    if (starts > ends).any():
+        raise ValueError("every interval must satisfy start <= end")
+    if (starts < 0).any():
+        raise ValueError("interval starts must be non-negative")
     if base.size <= int(ends.max()):
         raise ValueError("base_loads shorter than the largest interval end")
     unique_starts, unique_ends, table = _window_table(starts, ends)

@@ -30,8 +30,13 @@ from typing import Optional
 
 import numpy as np
 
-from repro.core.bcp import BCPSolution, solve_bcp, solve_weighted_bcp
-from repro.core.intervals import ExtractionResult, apply_assignment, extract_intervals
+from repro.core.bcp import BCPSolution, solve_bcp, solve_weighted_bcp, weighted_peak_bound
+from repro.core.intervals import (
+    ExtractionPlan,
+    ExtractionResult,
+    apply_assignment,
+    extract_intervals,
+)
 from repro.cubes.cube import TestSet
 from repro.cubes.metrics import peak_toggles, toggle_profile
 
@@ -79,10 +84,11 @@ def dp_fill(
         patterns: ordered, possibly partially specified pattern set.
         account_base_toggles: use the base-load-aware exact solver (default)
             or the paper's literal interval-only formulation.
-        extraction: optionally reuse a precomputed extraction (the ordering
-            search calls DP-fill many times on permutations of one set and
-            re-extracts each time; callers that already hold an extraction
-            for exactly this ordering can pass it to skip the work).
+        extraction: optionally reuse a precomputed extraction for exactly
+            this ordering of ``patterns``, skipping the extraction pass.
+            The I-Ordering search produces one as a by-product
+            (:attr:`repro.core.ordering.OrderingResult.extraction`), so the
+            order-then-fill flow extracts once instead of twice.
 
     Returns:
         A :class:`DPFillReport`; ``report.filled`` preserves every specified
@@ -141,12 +147,26 @@ def optimal_peak_for_ordering(patterns: TestSet) -> int:
     """Return the optimal peak-toggle value of ``patterns`` without materialising the fill.
 
     This is the evaluation primitive of the I-Ordering search (Algorithm 3
-    line 13): it extracts intervals and solves the weighted BCP but skips the
-    reconstruction and verification passes, which dominate runtime for large
-    sets.
+    line 13): it extracts intervals and evaluates the exact weighted-BCP
+    bound, skipping the colouring, reconstruction and verification passes,
+    which dominate runtime for large sets.  (The bound *is* the optimum —
+    see :func:`repro.core.bcp.weighted_peak_bound`.)
     """
     if len(patterns) < 2:
         return 0
-    extraction = extract_intervals(patterns)
-    solution = solve_weighted_bcp(extraction.intervals, extraction.base_toggles)
-    return solution.peak
+    return optimal_peak_for_permutation(ExtractionPlan.from_test_set(patterns))
+
+
+def optimal_peak_for_permutation(
+    plan: ExtractionPlan, permutation: Optional[list] = None
+) -> int:
+    """Optimal peak-toggle value of one permutation of a pre-planned cube set.
+
+    The I-Ordering search builds one :class:`~repro.core.intervals.ExtractionPlan`
+    for the cube set and calls this per candidate interleave size — the
+    per-candidate cost is a few vectorised passes over the specified bits
+    instead of a full re-extraction (see the ``bench_core.py``
+    micro-benchmark).
+    """
+    starts, ends, base = plan.interval_arrays(permutation)
+    return weighted_peak_bound(starts, ends, base)

@@ -29,7 +29,7 @@ Per row, the specified bits split the pattern axis into stretches:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -100,6 +100,94 @@ class ExtractionResult:
     def base_peak(self) -> int:
         """Largest per-boundary unavoidable toggle count."""
         return int(self.base_toggles.max()) if self.base_toggles.size else 0
+
+
+@dataclass(frozen=True)
+class ExtractionPlan:
+    """Permutation-reusable skeleton of a cube set's BCP extraction.
+
+    The *set* of specified bits per pin row never changes when patterns are
+    reordered — only their column positions do.  This plan captures that
+    invariant structure once (row id, original column and value of every
+    specified bit, in row-major order) so the interval arrays of **any**
+    permutation of the same cube set can be derived with a handful of
+    vectorised NumPy passes instead of re-running the python preprocessing
+    loop of :func:`extract_intervals` from scratch.
+
+    This is what lets the I-Ordering search evaluate each candidate
+    interleave size ``k`` without re-extracting; together with
+    :func:`repro.core.bcp.weighted_peak_bound` it forms the fast evaluation
+    path of :func:`repro.core.ordering.interleaved_ordering` (see the
+    ``bench_core.py`` micro-benchmark for the measured win).
+
+    Attributes:
+        n_pins / n_patterns: cube-set shape.
+        spec_rows: pin-row index of every specified bit (row-major order).
+        spec_cols: original pattern index of every specified bit.
+        spec_vals: value (0/1) of every specified bit.
+    """
+
+    n_pins: int
+    n_patterns: int
+    spec_rows: np.ndarray
+    spec_cols: np.ndarray
+    spec_vals: np.ndarray
+
+    @classmethod
+    def from_test_set(cls, patterns: TestSet) -> "ExtractionPlan":
+        """Build the plan for ``patterns`` (one pass over the pin matrix)."""
+        pin = patterns.pin_matrix()
+        rows, cols = np.nonzero(pin != X)
+        return cls(
+            n_pins=int(pin.shape[0]),
+            n_patterns=int(pin.shape[1]),
+            spec_rows=rows.astype(np.int64),
+            spec_cols=cols.astype(np.int64),
+            spec_vals=pin[rows, cols].astype(np.int64),
+        )
+
+    def interval_arrays(
+        self, permutation: Optional[Sequence[int]] = None
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(starts, ends, base_toggles)`` of the (permuted) cube set.
+
+        The arrays are exactly what :func:`extract_intervals` would produce
+        for ``patterns.reordered(permutation)`` — same intervals in the same
+        row-major discovery order, same base-toggle vector — minus the
+        prefilled matrix (which only the final reconstruction needs).
+
+        Args:
+            permutation: original pattern indices in their new order (the
+                convention of :meth:`TestSet.reordered`); ``None`` evaluates
+                the plan's own order.
+        """
+        n_boundaries = max(self.n_patterns - 1, 0)
+        base = np.zeros(n_boundaries, dtype=np.int64)
+        empty = np.zeros(0, dtype=np.int64)
+        if self.spec_rows.size < 2:
+            return empty, empty, base
+
+        if permutation is None:
+            rows, cols, vals = self.spec_rows, self.spec_cols, self.spec_vals
+        else:
+            perm = np.asarray(permutation, dtype=np.int64)
+            if perm.shape[0] != self.n_patterns:
+                raise ValueError(
+                    f"permutation length {perm.shape[0]} != {self.n_patterns} patterns"
+                )
+            position = np.empty(self.n_patterns, dtype=np.int64)
+            position[perm] = np.arange(self.n_patterns, dtype=np.int64)
+            cols = position[self.spec_cols]
+            # Stable (row, new column) order reproduces extract_intervals'
+            # row-major, left-to-right interval discovery order exactly.
+            order = np.lexsort((cols, self.spec_rows))
+            rows, cols, vals = self.spec_rows[order], cols[order], self.spec_vals[order]
+
+        toggles = (rows[1:] == rows[:-1]) & (vals[1:] != vals[:-1])
+        adjacent = cols[1:] == cols[:-1] + 1
+        np.add.at(base, cols[:-1][toggles & adjacent], 1)
+        free = toggles & ~adjacent
+        return cols[:-1][free], cols[1:][free] - 1, base
 
 
 def extract_intervals(patterns: TestSet) -> ExtractionResult:

@@ -17,7 +17,8 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
-from repro.core.dpfill import optimal_peak_for_ordering
+from repro.core.dpfill import optimal_peak_for_ordering, optimal_peak_for_permutation
+from repro.core.intervals import ExtractionPlan, ExtractionResult, extract_intervals
 from repro.cubes.cube import TestSet
 
 Evaluator = Callable[[TestSet], int]
@@ -59,6 +60,19 @@ class OrderingResult:
     peak: Optional[int] = None
     trace: List[InterleaveStep] = field(default_factory=list)
     iterations: int = 0
+    _extraction: Optional[ExtractionResult] = field(default=None, repr=False)
+
+    @property
+    def extraction(self) -> ExtractionResult:
+        """The BCP extraction of ``ordered`` (computed lazily, then cached).
+
+        Pass it to :func:`repro.core.dpfill.dp_fill` to skip the
+        re-extraction in the order-then-fill flow; callers that only want
+        the ordering (e.g. the Fig. 2 traces) never pay for it.
+        """
+        if self._extraction is None:
+            self._extraction = extract_intervals(self.ordered)
+        return self._extraction
 
     @property
     def best_k(self) -> Optional[int]:
@@ -118,12 +132,35 @@ def interleaved_ordering(
         density-sorted list; on cube sets where that whole family happens to
         be worse than the generation order, the fallback preserves the
         "I-Ordering never hurts" property the evaluation relies on.
+
+    Performance:
+        With the default evaluator, the search builds one
+        :class:`~repro.core.intervals.ExtractionPlan` and evaluates every
+        candidate ``k`` through
+        :func:`~repro.core.dpfill.optimal_peak_for_permutation` — the
+        specified-bit structure is permuted instead of re-extracted from
+        scratch, and no candidate :class:`TestSet` is ever materialised.
+        A custom ``evaluator`` gets the literal (materialise-and-evaluate)
+        behaviour.  Either way the returned values are identical.
     """
-    evaluate = evaluator or optimal_peak_for_ordering
     n = len(patterns)
+    plan: Optional[ExtractionPlan] = None
+    if evaluator is None:
+        plan = ExtractionPlan.from_test_set(patterns)
+
+        def evaluate_permutation(permutation: Optional[List[int]]) -> int:
+            return optimal_peak_for_permutation(plan, permutation)
+
+    else:
+
+        def evaluate_permutation(permutation: Optional[List[int]]) -> int:
+            if permutation is None:
+                return evaluator(patterns)
+            return evaluator(patterns.reordered(permutation))
+
     if n <= 2:
         permutation = list(range(n))
-        peak = evaluate(patterns) if n else 0
+        peak = evaluate_permutation(None) if n else 0
         return OrderingResult(
             ordered=patterns.copy(),
             permutation=permutation,
@@ -134,7 +171,7 @@ def interleaved_ordering(
 
     x_counts = patterns.x_counts_per_pattern()
     sorted_indices = [int(i) for i in np.argsort(x_counts, kind="stable")]
-    identity_peak = evaluate(patterns)
+    identity_peak = evaluate_permutation(None)
 
     best_peak: Optional[int] = None
     best_permutation: List[int] = list(range(n))
@@ -146,8 +183,7 @@ def interleaved_ordering(
         if k > upper_k:
             break
         permutation = interleave_permutation(sorted_indices, k)
-        candidate = patterns.reordered(permutation)
-        peak = evaluate(candidate)
+        peak = evaluate_permutation(permutation)
         improved = best_peak is None or peak < best_peak
         trace.append(InterleaveStep(k=k, peak=peak, improved=improved))
         if improved:

@@ -34,11 +34,22 @@ from repro.engine.packed import (
     pack_patterns,
     unpack_values,
 )
+from repro.engine.sharded import (
+    JOBS_ENV_VAR,
+    ShardedBackend,
+    ShardedFaultSimulator,
+    default_jobs,
+    resolve_jobs,
+    set_default_jobs,
+    shutdown_worker_pool,
+    worker_pool,
+)
 
 __all__ = [
     "BACKEND_ENV_VAR",
     "DEFAULT_BACKEND_NAME",
     "DROP_BLOCK_PATTERNS",
+    "JOBS_ENV_VAR",
     "LANE_MODE_MAX_PATTERNS",
     "CompiledCircuit",
     "FaultSimulationResult",
@@ -47,13 +58,20 @@ __all__ = [
     "PackedBackend",
     "PackedFaultSimulator",
     "PackedLogicSimulator",
+    "ShardedBackend",
+    "ShardedFaultSimulator",
     "SimulationBackend",
     "available_backends",
     "compile_circuit",
     "default_backend_name",
+    "default_jobs",
     "get_backend",
     "pack_patterns",
     "register_backend",
+    "resolve_jobs",
     "set_default_backend",
+    "set_default_jobs",
+    "shutdown_worker_pool",
     "unpack_values",
+    "worker_pool",
 ]

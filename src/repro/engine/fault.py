@@ -240,6 +240,161 @@ def _lowest_bit(value: int) -> int:
     return (value & -value).bit_length() - 1
 
 
+def packed_first_detects(
+    program,
+    good: Sequence[int],
+    n_patterns: int,
+    sites: Sequence[Optional[int]],
+    stuck_values: Sequence[int],
+    block_patterns: int = DROP_BLOCK_PATTERNS,
+    drop_detected: bool = True,
+    pattern_start: int = 0,
+    pattern_stop: Optional[int] = None,
+    stats: Optional[Dict[str, int]] = None,
+) -> List[Optional[int]]:
+    """First-detecting pattern index per fault site over a pattern range.
+
+    This is the work unit shared by :class:`PackedFaultSimulator` (which runs
+    it over the full pattern range) and the sharded backend's worker
+    processes (which run it over fault-list chunks or pattern-block shards
+    and merge the results deterministically).
+
+    Args:
+        program: compiled circuit.
+        good: good-machine value lanes for **all** ``n_patterns`` patterns
+            (one big-int lane per value-table row).
+        n_patterns: total pattern count the lanes cover.
+        sites: fault-site row per fault (``None`` for unknown nets, which are
+            never detected).
+        stuck_values: stuck value (0/1) per fault, aligned with ``sites``.
+        block_patterns: patterns per fault-dropping block.
+        drop_detected: skip a fault's cone in blocks after its detecting one.
+        pattern_start / pattern_stop: half-open pattern range to simulate
+            (defaults to the full range).  Returned indices stay absolute.
+        stats: optional counter dict updated in place (``blocks``,
+            ``cone_evaluations``, ``dropped_block_evaluations``).
+
+    Returns:
+        One entry per fault: the absolute index of the first detecting
+        pattern inside the range, or ``None``.
+    """
+    if stats is None:
+        stats = _new_stats()
+    if pattern_stop is None:
+        pattern_stop = n_patterns
+    n_faults = len(sites)
+    first_detect: List[Optional[int]] = [None] * n_faults
+    range_width = pattern_stop - pattern_start
+    if range_width <= 0 or n_faults == 0:
+        return first_detect
+
+    # Blocking only pays off when dropping can skip later blocks; run a
+    # single full-width pass otherwise (results are block-size-invariant).
+    block_size = max(1, int(block_patterns)) if drop_detected else range_width
+    blocks = [
+        range(s, min(s + block_size, pattern_stop))
+        for s in range(pattern_start, pattern_stop, block_size)
+    ]
+    # Pre-serialise the good lanes when blocks fall on byte boundaries:
+    # slicing a byte window per block is O(block) per net instead of the
+    # O(n_patterns) a full-lane `>> start` costs, keeping good-block
+    # extraction linear in the pattern count across all blocks.
+    byte_aligned = block_size % 8 == 0 and pattern_start % 8 == 0 and len(blocks) > 1
+    if byte_aligned:
+        total_bytes = (n_patterns + 7) // 8
+        good_bytes = [lane.to_bytes(total_bytes, "little") for lane in good]
+
+    stuck_flags = [bool(value) for value in stuck_values]
+    for block in blocks:
+        stats["blocks"] += 1
+        start, width = block.start, len(block)
+        block_mask = (1 << width) - 1
+        if byte_aligned:
+            lo, hi = start // 8, (block.stop + 7) // 8
+            good_block = [
+                int.from_bytes(raw[lo:hi], "little") & block_mask
+                for raw in good_bytes
+            ]
+        elif start:
+            good_block = [(lane >> start) & block_mask for lane in good]
+        else:
+            good_block = [lane & block_mask for lane in good]
+        pending = 0
+        for index in range(n_faults):
+            row = sites[index]
+            if row is None:
+                continue
+            if first_detect[index] is not None:
+                if drop_detected:
+                    stats["dropped_block_evaluations"] += 1
+                    continue
+            cone = program.cone(row)
+            if not cone.detect_rows and not cone.site_observable:
+                continue  # structurally unobservable: undetected, no work
+            stats["cone_evaluations"] += 1
+            forced = block_mask if stuck_flags[index] else 0
+            diff = (good_block[row] ^ forced) if cone.site_observable else 0
+            faulty: Dict[int, int] = {row: forced}
+            fget = faulty.get
+            node_prog = program.node_prog
+            # Inline opcode dispatch: this duplicates evaluate_lanes on
+            # purpose (the faulty-dict overlay lookup per source is the
+            # hot path; an indirection-parameterised shared interpreter
+            # measurably slows it).  Any opcode change must be mirrored
+            # in evaluate_lanes/evaluate_words; the every-gate-type
+            # parity tests in tests/test_engine.py catch divergence.
+            for pos in cone.positions:
+                op, out, src = node_prog[pos]
+                if op == OP_AND or op == OP_NAND:
+                    acc = fget(src[0])
+                    if acc is None:
+                        acc = good_block[src[0]]
+                    for r in src[1:]:
+                        v = fget(r)
+                        acc &= good_block[r] if v is None else v
+                    if op == OP_NAND:
+                        acc ^= block_mask
+                elif op == OP_OR or op == OP_NOR:
+                    acc = fget(src[0])
+                    if acc is None:
+                        acc = good_block[src[0]]
+                    for r in src[1:]:
+                        v = fget(r)
+                        acc |= good_block[r] if v is None else v
+                    if op == OP_NOR:
+                        acc ^= block_mask
+                elif op == OP_XOR or op == OP_XNOR:
+                    acc = fget(src[0])
+                    if acc is None:
+                        acc = good_block[src[0]]
+                    for r in src[1:]:
+                        v = fget(r)
+                        acc ^= good_block[r] if v is None else v
+                    if op == OP_XNOR:
+                        acc ^= block_mask
+                elif op == OP_NOT:
+                    v = fget(src[0])
+                    acc = (good_block[src[0]] if v is None else v) ^ block_mask
+                elif op == OP_BUF:
+                    v = fget(src[0])
+                    acc = good_block[src[0]] if v is None else v
+                elif op == OP_CONST0:
+                    acc = 0
+                else:  # OP_CONST1
+                    acc = block_mask
+                faulty[out] = acc
+            for obs in cone.detect_rows:
+                diff |= faulty[obs] ^ good_block[obs]
+            if diff:
+                if first_detect[index] is None:
+                    first_detect[index] = start + _lowest_bit(diff)
+            else:
+                pending += 1
+        if drop_detected and pending == 0:
+            break
+    return first_detect
+
+
 class PackedFaultSimulator:
     """Bit-packed fault simulator over the compiled program.
 
@@ -278,109 +433,18 @@ class PackedFaultSimulator:
         full_mask = (1 << n_patterns) - 1
         good = evaluate_lanes(program, pack_lanes(matrix), full_mask)
 
-        # Blocking only pays off when dropping can skip later blocks; run a
-        # single full-width pass otherwise (results are block-size-invariant).
-        block_size = self.block_patterns if drop_detected else n_patterns
-        # Pre-serialise the good lanes when blocks fall on byte boundaries:
-        # slicing a byte window per block is O(block) per net instead of the
-        # O(n_patterns) a full-lane `>> start` costs, keeping good-block
-        # extraction linear in the pattern count across all blocks.
-        blocks = _blocks(n_patterns, block_size)
-        byte_aligned = block_size % 8 == 0 and len(blocks) > 1
-        if byte_aligned:
-            total_bytes = (n_patterns + 7) // 8
-            good_bytes = [lane.to_bytes(total_bytes, "little") for lane in good]
-
         # Resolve fault sites once; faults on unknown nets can never be
         # detected (matching the naive simulator's empty-cone behaviour).
         sites: List[Optional[int]] = [program.row_of(f.net) for f in faults]
-        first_detect: List[Optional[int]] = [None] * len(faults)
-
-        for block in blocks:
-            stats["blocks"] += 1
-            start, width = block.start, len(block)
-            block_mask = (1 << width) - 1
-            if byte_aligned:
-                lo, hi = start // 8, (block.stop + 7) // 8
-                good_block = [
-                    int.from_bytes(raw[lo:hi], "little") & block_mask
-                    for raw in good_bytes
-                ]
-            elif start:
-                good_block = [(lane >> start) & block_mask for lane in good]
-            else:
-                good_block = [lane & block_mask for lane in good]
-            pending = 0
-            for index, fault in enumerate(faults):
-                row = sites[index]
-                if row is None:
-                    continue
-                if first_detect[index] is not None:
-                    if drop_detected:
-                        stats["dropped_block_evaluations"] += 1
-                        continue
-                cone = program.cone(row)
-                if not cone.detect_rows and not cone.site_observable:
-                    continue  # structurally unobservable: undetected, no work
-                stats["cone_evaluations"] += 1
-                forced = block_mask if fault.stuck_value else 0
-                diff = (good_block[row] ^ forced) if cone.site_observable else 0
-                faulty: Dict[int, int] = {row: forced}
-                fget = faulty.get
-                node_prog = program.node_prog
-                # Inline opcode dispatch: this duplicates evaluate_lanes on
-                # purpose (the faulty-dict overlay lookup per source is the
-                # hot path; an indirection-parameterised shared interpreter
-                # measurably slows it).  Any opcode change must be mirrored
-                # in evaluate_lanes/evaluate_words; the every-gate-type
-                # parity tests in tests/test_engine.py catch divergence.
-                for pos in cone.positions:
-                    op, out, src = node_prog[pos]
-                    if op == OP_AND or op == OP_NAND:
-                        acc = fget(src[0])
-                        if acc is None:
-                            acc = good_block[src[0]]
-                        for r in src[1:]:
-                            v = fget(r)
-                            acc &= good_block[r] if v is None else v
-                        if op == OP_NAND:
-                            acc ^= block_mask
-                    elif op == OP_OR or op == OP_NOR:
-                        acc = fget(src[0])
-                        if acc is None:
-                            acc = good_block[src[0]]
-                        for r in src[1:]:
-                            v = fget(r)
-                            acc |= good_block[r] if v is None else v
-                        if op == OP_NOR:
-                            acc ^= block_mask
-                    elif op == OP_XOR or op == OP_XNOR:
-                        acc = fget(src[0])
-                        if acc is None:
-                            acc = good_block[src[0]]
-                        for r in src[1:]:
-                            v = fget(r)
-                            acc ^= good_block[r] if v is None else v
-                        if op == OP_XNOR:
-                            acc ^= block_mask
-                    elif op == OP_NOT:
-                        v = fget(src[0])
-                        acc = (good_block[src[0]] if v is None else v) ^ block_mask
-                    elif op == OP_BUF:
-                        v = fget(src[0])
-                        acc = good_block[src[0]] if v is None else v
-                    elif op == OP_CONST0:
-                        acc = 0
-                    else:  # OP_CONST1
-                        acc = block_mask
-                    faulty[out] = acc
-                for obs in cone.detect_rows:
-                    diff |= faulty[obs] ^ good_block[obs]
-                if diff:
-                    if first_detect[index] is None:
-                        first_detect[index] = start + _lowest_bit(diff)
-                else:
-                    pending += 1
-            if drop_detected and pending == 0:
-                break
+        stuck_values = [1 if f.stuck_value else 0 for f in faults]
+        first_detect = packed_first_detects(
+            program,
+            good,
+            n_patterns,
+            sites,
+            stuck_values,
+            block_patterns=self.block_patterns,
+            drop_detected=drop_detected,
+            stats=stats,
+        )
         return _assemble(faults, first_detect, n_patterns)

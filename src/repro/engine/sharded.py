@@ -1,0 +1,543 @@
+"""Sharded multi-process fault simulation backend.
+
+The packed engine made a single fault-simulation pass ~10x faster but still
+runs on one core.  This module scales it *out*: the memoised
+:class:`~repro.engine.compile.CompiledCircuit` — flat arrays and python
+lists, cheap to pickle — is shipped to a lazily created, spawn-safe process
+pool, and the fault-grading work is partitioned into dynamic chunks that the
+pool load-balances across workers.
+
+Two sharding strategies cover the two workload shapes:
+
+* **fault-list chunks** (the default) — the collapsed fault list is split
+  into consecutive chunks sized for ``jobs * chunks_per_worker`` outstanding
+  work units; each worker grades its chunk over the full pattern set with
+  PR 1's block-wise fault dropping intact.  Chunks are disjoint in faults,
+  so the merge is a plain scatter.
+* **pattern-block shards** — for few-faults/many-patterns shapes (e.g. ATPG
+  grading a handful of faults against a large pattern set) the *pattern*
+  axis is sharded instead, aligned to :data:`~repro.engine.fault.DROP_BLOCK_PATTERNS`
+  boundaries.  Every shard grades all faults over its pattern range; the
+  parent merges by taking the **minimum** detecting index per fault, which
+  is order-independent and therefore deterministic regardless of worker
+  scheduling.  Between chunk submissions the parent *broadcasts* already
+  detected faults: a shard starting at pattern ``s`` skips any fault whose
+  merged first-detect index is ``< s`` (such a shard could only contribute a
+  later index, so skipping never changes the minimum) — this is block-wise
+  fault dropping carried across shard boundaries.
+
+Both strategies produce detection maps and first-detecting pattern indices
+bit-identical to the ``packed`` and ``naive`` backends (the parity suite in
+``tests/test_sharded.py`` asserts this).  Work counters in
+``last_run_stats`` additionally expose ``chunks``, the sharding ``mode`` and
+``shard_dropped_evaluations`` (faults skipped whole-shard by the broadcast).
+
+The pool is created on first use, sized by (in decreasing precedence) the
+explicit ``jobs`` argument, :func:`set_default_jobs`, the ``REPRO_JOBS``
+environment variable, and ``os.cpu_count()``; it is shut down cleanly at
+interpreter exit.  Whenever a pool cannot be used — ``jobs=1``, running
+inside a pool worker already, spawn failure, workers that cannot import the
+package — the simulator falls back to the in-process packed implementation,
+so results never depend on the environment being pool-friendly.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+import pickle
+import uuid
+import weakref
+from collections import OrderedDict, deque
+from hashlib import blake2b
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.circuit.netlist import Circuit
+from repro.circuit.simulator import check_pattern_matrix
+from repro.cubes.cube import TestSet
+from repro.engine.backend import PackedBackend, available_backends, register_backend
+from repro.engine.compile import CompiledCircuit, compile_circuit
+from repro.engine.fault import (
+    DROP_BLOCK_PATTERNS,
+    FaultSimulationResult,
+    PackedFaultSimulator,
+    _assemble,
+    _new_stats,
+    _validate_run,
+    packed_first_detects,
+)
+from repro.engine.packed import evaluate_lanes, pack_lanes
+
+#: Environment variable sizing the worker pool (``--jobs`` on the runner).
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+#: Target number of work chunks per worker; >1 gives the pool slack to
+#: load-balance chunks whose cones differ wildly in size.
+CHUNKS_PER_WORKER = 4
+
+#: Never make a fault chunk smaller than this (per-task overhead floor).
+MIN_CHUNK_FAULTS = 8
+
+#: Seconds to wait for the pool's import smoke test / one chunk result.
+_PING_TIMEOUT = 30.0
+_CHUNK_TIMEOUT = 600.0
+
+_default_jobs: Optional[int] = None
+
+
+def default_jobs() -> int:
+    """Worker count used when none is requested explicitly."""
+    if _default_jobs is not None:
+        return _default_jobs
+    env = os.environ.get(JOBS_ENV_VAR, "").strip()
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            raise ValueError(f"{JOBS_ENV_VAR} must be an integer, got {env!r}") from None
+    return os.cpu_count() or 1
+
+
+def set_default_jobs(jobs: Optional[int]) -> Optional[int]:
+    """Set (or with ``None`` clear) the process-wide default worker count.
+
+    Returns:
+        The previous override, so callers can restore it (the experiment
+        runner's ``--jobs`` flag uses this exactly like ``--backend`` uses
+        :func:`~repro.engine.backend.set_default_backend`).
+    """
+    global _default_jobs
+    previous = _default_jobs
+    _default_jobs = max(1, int(jobs)) if jobs is not None else None
+    return previous
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Resolve a worker count (explicit arg > default > env > cpu count)."""
+    if jobs is not None:
+        return max(1, int(jobs))
+    return default_jobs()
+
+
+# -- worker pool -------------------------------------------------------------
+_pool = None
+_pool_jobs = 0
+_pool_broken = False
+
+
+def _ping() -> int:
+    """Pool smoke test: proves workers can import this module."""
+    return os.getpid()
+
+
+def _package_src_dir() -> str:
+    """Directory that must be on ``sys.path`` for workers to import repro."""
+    import repro
+
+    return os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+def _spawn_main_is_safe() -> bool:
+    """Whether spawned children can re-import the parent's ``__main__``.
+
+    Spawn re-runs the parent's main module in every worker; when that module
+    has a ``__file__`` that is not a real path (``<stdin>``, interactive
+    sessions), every worker dies on startup — detect that here instead of
+    burning the ping timeout on a respawn loop.
+    """
+    import sys
+
+    main_module = sys.modules.get("__main__")
+    main_file = getattr(main_module, "__file__", None)
+    return main_file is None or os.path.exists(main_file)
+
+
+def worker_pool(jobs: int):
+    """The shared spawn-context process pool, or ``None`` for inline mode.
+
+    ``None`` is returned — and callers must fall back to in-process
+    execution — when ``jobs <= 1``, when called from inside a pool worker
+    (never nest pools), or when pool creation failed once already.
+    """
+    global _pool, _pool_jobs, _pool_broken
+    jobs = max(1, int(jobs))
+    if jobs <= 1 or _pool_broken:
+        return None
+    if multiprocessing.parent_process() is not None:
+        return None
+    if _pool is not None and _pool_jobs == jobs:
+        return _pool
+    if not _spawn_main_is_safe():
+        return None
+    shutdown_worker_pool()
+
+    # Spawned children re-import this module from scratch; when the package
+    # is only importable through the parent's sys.path (the usual
+    # ``PYTHONPATH=src`` development setup), export that path to them.
+    previous = os.environ.get("PYTHONPATH")
+    src_dir = _package_src_dir()
+    parts = previous.split(os.pathsep) if previous else []
+    if src_dir not in parts:
+        os.environ["PYTHONPATH"] = os.pathsep.join([src_dir] + parts)
+    pool = None
+    try:
+        pool = multiprocessing.get_context("spawn").Pool(processes=jobs)
+        pool.apply_async(_ping).get(timeout=_PING_TIMEOUT)
+    except Exception:
+        _pool_broken = True
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+        return None
+    finally:
+        if previous is None:
+            os.environ.pop("PYTHONPATH", None)
+        else:
+            os.environ["PYTHONPATH"] = previous
+    _pool, _pool_jobs = pool, jobs
+    return pool
+
+
+def shutdown_worker_pool() -> None:
+    """Terminate the shared pool (registered with :mod:`atexit`)."""
+    global _pool, _pool_jobs
+    if _pool is not None:
+        _pool.terminate()
+        _pool.join()
+        _pool = None
+        _pool_jobs = 0
+
+
+def _discard_broken_pool() -> None:
+    """Drop the pool after a task failure so the next run starts fresh."""
+    global _pool_broken
+    shutdown_worker_pool()
+    _pool_broken = True
+
+
+atexit.register(shutdown_worker_pool)
+
+
+# -- program shipping --------------------------------------------------------
+#: id(program) -> (weakref, key, pickled bytes); pickling a compiled program
+#: happens once per program, the bytes ride along with every chunk task and
+#: workers unpickle once per (worker, key).
+_blob_cache: Dict[int, Tuple["weakref.ref", str, bytes]] = {}
+
+
+def pickled_program(program: CompiledCircuit) -> Tuple[str, bytes]:
+    """``(key, blob)`` for shipping ``program`` to workers (memoised)."""
+    ident = id(program)
+    entry = _blob_cache.get(ident)
+    if entry is not None:
+        ref, key, blob = entry
+        if ref() is program:
+            return key, blob
+    key = f"{program.name}:{uuid.uuid4().hex}"
+    blob = pickle.dumps(program, protocol=pickle.HIGHEST_PROTOCOL)
+    _blob_cache[ident] = (
+        weakref.ref(program, lambda _ref, _ident=ident: _blob_cache.pop(_ident, None)),
+        key,
+        blob,
+    )
+    return key, blob
+
+
+# -- worker side -------------------------------------------------------------
+_WORKER_CACHE_LIMIT = 8
+_worker_programs: "OrderedDict[str, CompiledCircuit]" = OrderedDict()
+_worker_good: "OrderedDict[Tuple[str, str], List[int]]" = OrderedDict()
+
+
+def _cache_put(cache: OrderedDict, key, value) -> None:
+    cache[key] = value
+    cache.move_to_end(key)
+    while len(cache) > _WORKER_CACHE_LIMIT:
+        cache.popitem(last=False)
+
+
+def _worker_program(key: str, blob: bytes) -> CompiledCircuit:
+    program = _worker_programs.get(key)
+    if program is None:
+        program = pickle.loads(blob)
+        _cache_put(_worker_programs, key, program)
+    return program
+
+
+def _worker_good_lanes(
+    program: CompiledCircuit,
+    program_key: str,
+    patterns_key: str,
+    input_lanes: Sequence[int],
+    n_patterns: int,
+) -> List[int]:
+    cache_key = (program_key, patterns_key)
+    good = _worker_good.get(cache_key)
+    if good is None:
+        mask = (1 << n_patterns) - 1
+        good = evaluate_lanes(program, list(input_lanes), mask)
+        _cache_put(_worker_good, cache_key, good)
+    return good
+
+
+def _simulate_chunk(task: Dict[str, object]) -> Tuple[List[Optional[int]], Dict[str, int]]:
+    """Pool task: grade one chunk of faults over one pattern range."""
+    program = _worker_program(task["program_key"], task["program_blob"])
+    good = _worker_good_lanes(
+        program,
+        task["program_key"],
+        task["patterns_key"],
+        task["input_lanes"],
+        task["n_patterns"],
+    )
+    stats = _new_stats()
+    first = packed_first_detects(
+        program,
+        good,
+        task["n_patterns"],
+        task["sites"],
+        task["stuck_values"],
+        block_patterns=task["block_patterns"],
+        drop_detected=task["drop_detected"],
+        pattern_start=task["pattern_start"],
+        pattern_stop=task["pattern_stop"],
+        stats=stats,
+    )
+    return first, stats
+
+
+# -- the simulator -----------------------------------------------------------
+class ShardedFaultSimulator:
+    """Multi-process fault simulator over the compiled program.
+
+    Args:
+        circuit: circuit under test (compiled here if no ``program`` given).
+        jobs: worker count; ``None`` resolves through
+            :func:`resolve_jobs` at run time.  ``1`` always runs inline.
+        block_patterns: fault-dropping block size (also the pattern-shard
+            alignment unit).
+        program: reuse an already-compiled program for ``circuit``.
+        chunks_per_worker / min_chunk_faults: sharding knobs, mainly for
+            tests; the defaults balance load without drowning small runs in
+            per-task overhead.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        jobs: Optional[int] = None,
+        block_patterns: int = DROP_BLOCK_PATTERNS,
+        program: Optional[CompiledCircuit] = None,
+        chunks_per_worker: int = CHUNKS_PER_WORKER,
+        min_chunk_faults: int = MIN_CHUNK_FAULTS,
+    ) -> None:
+        self.circuit = circuit
+        self.jobs = jobs
+        self.block_patterns = max(1, int(block_patterns))
+        self.program = program if program is not None else compile_circuit(circuit)
+        self.chunks_per_worker = max(1, int(chunks_per_worker))
+        self.min_chunk_faults = max(1, int(min_chunk_faults))
+        self._inline: Optional[PackedFaultSimulator] = None
+        self.last_run_stats: Dict[str, object] = self._fresh_stats(1)
+
+    @staticmethod
+    def _fresh_stats(jobs: int) -> Dict[str, object]:
+        stats: Dict[str, object] = _new_stats()
+        stats.update(mode="inline", jobs=jobs, chunks=0, shard_dropped_evaluations=0)
+        return stats
+
+    # -- planning ----------------------------------------------------------
+    def _chunk_plan(
+        self, jobs: int, n_faults: int, n_patterns: int
+    ) -> Optional[Tuple[str, List[Tuple[int, int]]]]:
+        """Pick a sharding strategy, or ``None`` when sharding cannot pay."""
+        max_chunks = jobs * self.chunks_per_worker
+        n_blocks = -(-n_patterns // self.block_patterns)
+        if n_faults < 2 * self.min_chunk_faults:
+            # Too few faults to split the fault axis; shard pattern blocks
+            # instead when there are enough of them to go around.
+            if n_faults and n_blocks >= 4:
+                n_shards = min(max_chunks, n_blocks)
+                blocks_per_shard = -(-n_blocks // n_shards)
+                step = blocks_per_shard * self.block_patterns
+                shards = [
+                    (start, min(start + step, n_patterns))
+                    for start in range(0, n_patterns, step)
+                ]
+                if len(shards) > 1:
+                    return "pattern-shards", shards
+            return None
+        chunk = max(self.min_chunk_faults, -(-n_faults // max_chunks))
+        chunks = [(lo, min(lo + chunk, n_faults)) for lo in range(0, n_faults, chunk)]
+        if len(chunks) > 1:
+            return "fault-chunks", chunks
+        return None
+
+    # -- execution ---------------------------------------------------------
+    def _run_inline(
+        self,
+        patterns: TestSet,
+        faults: Sequence[object],
+        drop_detected: bool,
+        stats: Dict[str, object],
+    ) -> FaultSimulationResult:
+        if self._inline is None:
+            self._inline = PackedFaultSimulator(
+                self.circuit, block_patterns=self.block_patterns, program=self.program
+            )
+        result = self._inline.run(patterns, faults, drop_detected=drop_detected)
+        for key, value in self._inline.last_run_stats.items():
+            stats[key] = value
+        stats["mode"] = "inline"
+        return result
+
+    def _run_sharded(
+        self,
+        pool,
+        mode: str,
+        chunks: List[Tuple[int, int]],
+        jobs: int,
+        patterns: TestSet,
+        faults: Sequence[object],
+        drop_detected: bool,
+        stats: Dict[str, object],
+    ) -> FaultSimulationResult:
+        program = self.program
+        n_patterns = len(patterns)
+        n_faults = len(faults)
+        matrix = check_pattern_matrix(patterns.matrix, program.n_inputs)
+        input_lanes = pack_lanes(matrix)
+        patterns_key = blake2b(
+            matrix.tobytes() + repr(matrix.shape).encode(), digest_size=16
+        ).hexdigest()
+        program_key, program_blob = pickled_program(program)
+        sites = [program.row_of(f.net) for f in faults]
+        stuck_values = [1 if f.stuck_value else 0 for f in faults]
+        first: List[Optional[int]] = [None] * n_faults
+        stats["mode"] = mode
+
+        base_task = {
+            "program_key": program_key,
+            "program_blob": program_blob,
+            "patterns_key": patterns_key,
+            "input_lanes": input_lanes,
+            "n_patterns": n_patterns,
+            "block_patterns": self.block_patterns,
+            "drop_detected": drop_detected,
+        }
+
+        def submit(chunk: Tuple[int, int]):
+            if mode == "fault-chunks":
+                lo, hi = chunk
+                positions = list(range(lo, hi))
+                task = dict(
+                    base_task,
+                    sites=sites[lo:hi],
+                    stuck_values=stuck_values[lo:hi],
+                    pattern_start=0,
+                    pattern_stop=n_patterns,
+                )
+            else:
+                start, stop = chunk
+                if drop_detected:
+                    # Broadcast: skip faults already detected strictly before
+                    # this shard's range — they could only re-detect later,
+                    # which never changes the min-merge below.
+                    positions = [
+                        index
+                        for index in range(n_faults)
+                        if first[index] is None or first[index] >= start
+                    ]
+                else:
+                    positions = list(range(n_faults))
+                stats["shard_dropped_evaluations"] += n_faults - len(positions)
+                if not positions:
+                    return positions, None  # whole shard dropped: no task
+                task = dict(
+                    base_task,
+                    sites=[sites[index] for index in positions],
+                    stuck_values=[stuck_values[index] for index in positions],
+                    pattern_start=start,
+                    pattern_stop=stop,
+                )
+            stats["chunks"] += 1
+            return positions, pool.apply_async(_simulate_chunk, (task,))
+
+        max_inflight = jobs + 2
+        inflight = deque()
+        pending = deque(chunks)
+        while pending or inflight:
+            while pending and len(inflight) < max_inflight:
+                positions, handle = submit(pending.popleft())
+                if positions:
+                    inflight.append((positions, handle))
+            if not inflight:
+                break  # every remaining shard was dropped whole
+            positions, handle = inflight.popleft()
+            chunk_first, chunk_stats = handle.get(timeout=_CHUNK_TIMEOUT)
+            for index, found in zip(positions, chunk_first):
+                if found is not None and (first[index] is None or found < first[index]):
+                    first[index] = found
+            for key in ("blocks", "cone_evaluations", "dropped_block_evaluations"):
+                stats[key] += chunk_stats[key]
+        return _assemble(faults, first, n_patterns)
+
+    # -- public API --------------------------------------------------------
+    def run(
+        self,
+        patterns: TestSet,
+        faults: Sequence[object],
+        drop_detected: bool = True,
+    ) -> FaultSimulationResult:
+        """Fault-simulate ``patterns`` against ``faults``.
+
+        Results (detection map, first-detecting indices, fault order) are
+        bit-identical to the ``packed`` and ``naive`` backends; only the
+        execution strategy differs.
+        """
+        jobs = resolve_jobs(self.jobs)
+        stats = self.last_run_stats = self._fresh_stats(jobs)
+        early = _validate_run(patterns, self.program.n_inputs, faults)
+        if early is not None:
+            return early
+        plan = self._chunk_plan(jobs, len(faults), len(patterns)) if jobs > 1 else None
+        pool = worker_pool(jobs) if plan is not None else None
+        if pool is None:
+            return self._run_inline(patterns, faults, drop_detected, stats)
+        mode, chunks = plan
+        try:
+            return self._run_sharded(
+                pool, mode, chunks, jobs, patterns, faults, drop_detected, stats
+            )
+        except Exception:
+            # A broken pool (dead workers, import failures, timeouts) must
+            # never cost correctness: drop it and redo the run in process.
+            _discard_broken_pool()
+            return self._run_inline(patterns, faults, drop_detected, stats)
+
+
+class ShardedBackend(PackedBackend):
+    """Backend pairing the packed logic simulator with sharded fault grading.
+
+    Logic simulation stays in process (it is one compiled pass — shipping it
+    out would cost more than it saves); fault simulation fans out through
+    :class:`ShardedFaultSimulator`.  The compiled-program memoisation is
+    inherited from :class:`~repro.engine.backend.PackedBackend`, so parent
+    and workers agree on a single program per circuit.
+    """
+
+    name = "sharded"
+
+    def __init__(self, jobs: Optional[int] = None) -> None:
+        super().__init__()
+        self.jobs = jobs
+
+    def fault_simulator(self, circuit: Circuit) -> ShardedFaultSimulator:
+        return ShardedFaultSimulator(
+            circuit, jobs=self.jobs, program=self.compiled_program(circuit)
+        )
+
+
+if "sharded" not in available_backends():
+    register_backend(ShardedBackend())

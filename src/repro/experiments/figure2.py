@@ -65,7 +65,12 @@ class Figure2Result:
     panel_c: List[Figure2cSeries] = field(default_factory=list)
 
 
-def run(names: Optional[List[str]] = None, seed: int = 0, stretch_circuit: Optional[str] = None) -> Figure2Result:
+def run(
+    names: Optional[List[str]] = None,
+    seed: int = 0,
+    stretch_circuit: Optional[str] = None,
+    panels: str = "abc",
+) -> Figure2Result:
     """Reproduce all three panels of Fig. 2.
 
     Args:
@@ -73,42 +78,49 @@ def run(names: Optional[List[str]] = None, seed: int = 0, stretch_circuit: Optio
         seed: workload seed.
         stretch_circuit: circuit used for panel (c); defaults to the largest
             workload in ``names`` (the paper uses b19).
+        panels: which panels to compute (any subset of ``"abc"``).  Panels
+            (a) and (b) share the per-benchmark ordering run, so they are
+            requested together or not at all; the parallel experiment
+            scheduler uses this to split the per-benchmark work (``"ab"``)
+            from the single cross-benchmark panel (``"c"``).
     """
     workloads = build_workloads(names, seed=seed)
     result = Figure2Result()
 
-    for workload in workloads:
-        ordering = interleaved_ordering(workload.cubes)
-        result.panel_a.append(
-            Figure2aSeries(
-                circuit=workload.name,
-                k_values=[step.k for step in ordering.trace],
-                peak_values=[step.peak for step in ordering.trace],
+    if "a" in panels or "b" in panels:
+        for workload in workloads:
+            ordering = interleaved_ordering(workload.cubes)
+            result.panel_a.append(
+                Figure2aSeries(
+                    circuit=workload.name,
+                    k_values=[step.k for step in ordering.trace],
+                    peak_values=[step.peak for step in ordering.trace],
+                )
             )
-        )
-        result.panel_b.append(
-            Figure2bPoint(
-                circuit=workload.name,
-                n_patterns=len(workload.cubes),
-                log2_n=math.log2(max(len(workload.cubes), 2)),
-                iterations=ordering.iterations,
+            result.panel_b.append(
+                Figure2bPoint(
+                    circuit=workload.name,
+                    n_patterns=len(workload.cubes),
+                    log2_n=math.log2(max(len(workload.cubes), 2)),
+                    iterations=ordering.iterations,
+                )
             )
-        )
 
-    target: Workload
-    if stretch_circuit is not None:
-        target = build_workload(stretch_circuit, seed=seed)
-    else:
-        target = max(workloads, key=lambda w: w.circuit.n_test_pins)
-    for ordering_name in ("tool", "xstat", "i-ordering"):
-        ordered = get_ordering(ordering_name).order(target.cubes).ordered
-        result.panel_c.append(
-            Figure2cSeries(
-                circuit=target.name,
-                ordering=ordering_name,
-                stats=stretch_histogram(ordered),
+    if "c" in panels:
+        target: Workload
+        if stretch_circuit is not None:
+            target = build_workload(stretch_circuit, seed=seed)
+        else:
+            target = max(workloads, key=lambda w: w.circuit.n_test_pins)
+        for ordering_name in ("tool", "xstat", "i-ordering"):
+            ordered = get_ordering(ordering_name).order(target.cubes).ordered
+            result.panel_c.append(
+                Figure2cSeries(
+                    circuit=target.name,
+                    ordering=ordering_name,
+                    stats=stretch_histogram(ordered),
+                )
             )
-        )
     return result
 
 

@@ -7,15 +7,29 @@ Installed as ``dpfill-experiments``.  Typical invocations::
     dpfill-experiments --benchmarks b03,b08 # restrict the benchmark set
     dpfill-experiments --out results.txt    # also write the report to a file
     dpfill-experiments --backend naive      # force the reference simulator
+    dpfill-experiments --jobs 4             # 4 worker processes
     REPRO_INCLUDE_LARGE=1 dpfill-experiments  # include scaled b14-b22
+
+Parallel scheduling
+-------------------
+With ``--jobs N`` (or ``REPRO_JOBS``) the runner splits the work into
+independent *cells* — one (artifact, benchmark) pair each, plus whole-artifact
+cells for the figures' cross-benchmark parts — and schedules them on the same
+spawn-safe process pool the sharded simulation backend uses.  Cells are
+submitted all at once so the pool load-balances across artefacts, and merged
+back **in deterministic cell order**, so the report text is byte-identical to
+a serial run.  Any cell that fails in a worker (or a pool that cannot be
+created at all) falls back to in-process execution; parallelism is purely a
+scheduling concern and can never change results.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.engine.backend import (
     available_backends,
@@ -23,11 +37,16 @@ from repro.engine.backend import (
     get_backend,
     set_default_backend,
 )
+from repro.engine.sharded import _CHUNK_TIMEOUT, set_default_jobs, worker_pool
 from repro.experiments import figure1, figure2, table1, table2, table3, table4, table5, table6
 from repro.experiments.report import TableResult, render_table
 from repro.experiments.workloads import default_workload_names
 
 ARTIFACTS = ["1", "fig1", "2", "3", "4", "5", "6", "fig2"]
+
+#: Artefacts whose tables have exactly one row per benchmark and no
+#: cross-benchmark state — safe to split into per-benchmark cells.
+_PER_BENCHMARK_ARTIFACTS = {"1", "2", "3", "4", "5", "6"}
 
 
 def _collect(artifact: str, names: Optional[List[str]], seed: int) -> List[TableResult]:
@@ -50,16 +69,125 @@ def _collect(artifact: str, names: Optional[List[str]], seed: int) -> List[Table
     raise ValueError(f"unknown artifact {artifact!r}; choose from {ARTIFACTS}")
 
 
+# -- parallel cells ----------------------------------------------------------
+#: A cell is (kind, artifact, benchmark names); kinds: "table" (one
+#: benchmark of a per-benchmark table), "whole" (a full artefact),
+#: "fig2ab" (Fig. 2 panels a+b for one benchmark), "fig2c" (panel c).
+Cell = Tuple[str, str, Optional[List[str]]]
+
+
+def _cells_for(artifact: str, names: List[str]) -> List[Cell]:
+    """Decompose one artefact into independently runnable cells."""
+    if artifact in _PER_BENCHMARK_ARTIFACTS:
+        return [("table", artifact, [name]) for name in names]
+    if artifact == "fig2":
+        cells: List[Cell] = [("fig2ab", artifact, [name]) for name in names]
+        cells.append(("fig2c", artifact, list(names)))
+        return cells
+    return [("whole", artifact, None)]
+
+
+def _run_cell(cell: Cell, seed: int) -> List[TableResult]:
+    """Execute one cell (in a worker or, as fallback, in process)."""
+    kind, artifact, names = cell
+    if kind == "fig2ab":
+        return figure2.as_tables(figure2.run(names, seed=seed, panels="ab"))
+    if kind == "fig2c":
+        return figure2.as_tables(figure2.run(names, seed=seed, panels="c"))
+    return _collect(artifact, names, seed)
+
+
+def _cell_worker(payload: Tuple[Cell, int, str]) -> List[TableResult]:
+    """Pool task wrapper: pin the worker's backend, then run the cell."""
+    cell, seed, backend_name = payload
+    if default_backend_name() != backend_name:
+        set_default_backend(backend_name)
+    return _run_cell(cell, seed)
+
+
+def _merge_cells(artifact: str, parts: List[List[TableResult]]) -> List[TableResult]:
+    """Merge cell outputs back into the serial run's tables, byte-identically.
+
+    Rows concatenate in cell (= benchmark) order; notes are deduplicated
+    preserving first-seen order, which reproduces the serial notes exactly
+    because every conditional note is emitted *after* the unconditional ones
+    within each cell.
+    """
+    if artifact in _PER_BENCHMARK_ARTIFACTS:
+        merged = TableResult(title=parts[0][0].title, columns=parts[0][0].columns)
+        for part in parts:
+            merged.rows.extend(part[0].rows)
+            for note in part[0].notes:
+                if note not in merged.notes:
+                    merged.notes.append(note)
+        return [merged]
+    if artifact == "fig2":
+        ab_parts, c_part = parts[:-1], parts[-1]
+        table_a = TableResult(title=ab_parts[0][0].title, columns=ab_parts[0][0].columns)
+        table_b = TableResult(title=ab_parts[0][1].title, columns=ab_parts[0][1].columns)
+        for part in ab_parts:
+            table_a.rows.extend(part[0].rows)
+            table_b.rows.extend(part[1].rows)
+        return [table_a, table_b, c_part[2]]
+    return parts[0]
+
+
+def _run_all_parallel(
+    artifacts: List[str], names: Optional[List[str]], seed: int, pool
+) -> Dict[str, List[TableResult]]:
+    """Schedule every cell of every artefact on the pool, merge in order."""
+    resolved = list(names or default_workload_names())
+    backend_name = default_backend_name()
+    submitted = [
+        (
+            artifact,
+            [
+                (cell, pool.apply_async(_cell_worker, ((cell, seed, backend_name),)))
+                for cell in _cells_for(artifact, resolved)
+            ],
+        )
+        for artifact in artifacts
+    ]
+
+    results: Dict[str, List[TableResult]] = {}
+    for artifact, cells in submitted:
+        parts: List[List[TableResult]] = []
+        for cell, handle in cells:
+            try:
+                # The timeout guards against a silently lost task (a worker
+                # killed mid-cell is respawned by the pool but its task
+                # never completes); it lands in the inline fallback below.
+                parts.append(handle.get(timeout=_CHUNK_TIMEOUT))
+            except Exception:
+                # Worker-side failure (unpicklable custom backend, dead
+                # worker, ...): redo just this cell in process.
+                parts.append(_run_cell(cell, seed))
+        results[artifact] = _merge_cells(artifact, parts)
+    return results
+
+
 def run_all(
     artifacts: Optional[List[str]] = None,
     names: Optional[List[str]] = None,
     seed: int = 0,
+    jobs: int = 1,
 ) -> Dict[str, List[TableResult]]:
-    """Run the requested artefacts and return their tables keyed by artefact id."""
-    results: Dict[str, List[TableResult]] = {}
-    for artifact in artifacts or ARTIFACTS:
-        results[artifact] = _collect(artifact, names, seed)
-    return results
+    """Run the requested artefacts and return their tables keyed by artefact id.
+
+    Args:
+        artifacts: artefact ids (default: all).
+        names: benchmark names (default benchmark list).
+        seed: workload seed.
+        jobs: worker processes for the cell scheduler; ``1`` runs serially.
+            Tables are identical either way — parallel cells are merged in
+            deterministic order.
+    """
+    selected = list(artifacts or ARTIFACTS)
+    if jobs > 1:
+        pool = worker_pool(jobs)
+        if pool is not None:
+            return _run_all_parallel(selected, names, seed, pool)
+    return {artifact: _collect(artifact, names, seed) for artifact in selected}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -86,6 +214,14 @@ def build_parser() -> argparse.ArgumentParser:
         choices=available_backends(),
         help="simulation backend for every table (default: REPRO_BACKEND or 'packed')",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for independent (artifact x benchmark) cells "
+        "and the sharded backend (default: REPRO_JOBS or 1; report text is "
+        "byte-identical to a serial run)",
+    )
     return parser
 
 
@@ -94,15 +230,28 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     artifacts = [a.strip() for a in args.artifacts.split(",") if a.strip()]
     names = [n.strip() for n in args.benchmarks.split(",") if n.strip()] or None
+    if args.jobs is not None:
+        jobs = max(1, args.jobs)
+    else:
+        try:
+            jobs = max(1, int(os.environ.get("REPRO_JOBS", "") or 1))
+        except ValueError:
+            print(
+                "dpfill-experiments: error: REPRO_JOBS must be an integer",
+                file=sys.stderr,
+            )
+            return 2
     previous_backend = set_default_backend(args.backend) if args.backend else None
     try:
-        # Fail fast on a mistyped REPRO_BACKEND before any output is produced.
-        # Only the env-var path can fail here: a --backend value was already
-        # validated by argparse choices and applied above.
+        # Fail fast on a mistyped REPRO_BACKEND before any output is produced
+        # (and before any process-wide override is applied, so the early
+        # return leaks nothing).  Only the env-var path can fail here: a
+        # --backend value was already validated by argparse choices.
         get_backend()
     except KeyError as err:
         print(f"dpfill-experiments: error: {err.args[0]}", file=sys.stderr)
         return 2
+    previous_jobs = set_default_jobs(args.jobs) if args.jobs is not None else None
 
     lines: List[str] = []
     lines.append("DP-fill reproduction - experiment report")
@@ -111,22 +260,27 @@ def main(argv: Optional[List[str]] = None) -> int:
     lines.append("")
 
     try:
-        start = time.time()
+        start = time.perf_counter()
+        results = run_all(artifacts, names, seed=args.seed, jobs=jobs)
+        elapsed = time.perf_counter() - start
         for artifact in artifacts:
-            tables = _collect(artifact, names, args.seed)
-            for table in tables:
+            for table in results[artifact]:
                 lines.append(render_table(table))
                 lines.append("")
-        lines.append(f"total runtime: {time.time() - start:.1f} s")
     finally:
         if args.backend:
             set_default_backend(previous_backend)
+        if args.jobs is not None:
+            set_default_jobs(previous_jobs)
 
     report = "\n".join(lines)
     print(report)
     if args.out:
         with open(args.out, "w") as handle:
             handle.write(report + "\n")
+    # Timing is environment-dependent, so it stays out of the report body:
+    # the report (stdout above and --out) is byte-identical across --jobs.
+    print(f"total runtime: {elapsed:.1f} s ({jobs} job{'s' if jobs != 1 else ''})")
     return 0
 
 

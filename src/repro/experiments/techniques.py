@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List
 
+from repro.core.dpfill import dp_fill
 from repro.cubes.cube import TestSet
 from repro.cubes.metrics import peak_toggles
 from repro.filling import get_filler
@@ -75,8 +76,11 @@ def _xstat_technique(cubes: TestSet) -> TestSet:
 
 
 def _proposed_technique(cubes: TestSet) -> TestSet:
-    ordered = get_ordering("i-ordering").order(cubes).ordered
-    return get_filler("DP-fill").fill(ordered)
+    # I-Ordering hands back the extraction of its winning ordering; passing
+    # it to dp_fill skips the duplicate extraction of the order-then-fill
+    # flow (results are identical either way).
+    result = get_ordering("i-ordering").order(cubes)
+    return dp_fill(result.ordered, extraction=result.extraction).filled
 
 
 _TECHNIQUE_BUILDERS: Dict[str, Callable[[TestSet], TestSet]] = {

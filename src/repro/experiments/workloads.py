@@ -127,10 +127,19 @@ def _store_cached_cubes(key: str, cubes: TestSet) -> None:
     directory = _cache_dir()
     if directory is None:
         return
+    # Write-to-temp + atomic rename: parallel experiment cells may build the
+    # same workload concurrently, and a torn .npz must never be observable
+    # (a half-written file would otherwise poison every later run).
+    path = directory / f"{key}.npz"
+    temp = directory / f".{key}.{os.getpid()}.tmp.npz"
     try:
-        np.savez_compressed(directory / f"{key}.npz", cubes=cubes.matrix)
+        np.savez_compressed(temp, cubes=cubes.matrix)
+        os.replace(temp, path)
     except Exception:  # pragma: no cover - cache writes are best effort
-        pass
+        try:
+            temp.unlink()
+        except OSError:
+            pass
 
 
 def _build_podem_cubes(circuit: Circuit, profile: BenchmarkProfile, seed: int) -> TestSet:

@@ -115,3 +115,63 @@ class TestInterleavedOrdering:
         result = interleaved_ordering(ts)
         assert result.peak <= tool_peak
         assert result.peak <= density_peak
+
+
+class TestExtractionReuse:
+    """The search's fast evaluation path must equal the literal one exactly."""
+
+    def _sets(self):
+        for seed in range(4):
+            yield generate_cube_set(
+                CubeSetSpec(n_pins=40, n_patterns=30, x_fraction=0.75, seed=seed)
+            )
+
+    def test_plan_interval_arrays_match_extract_intervals(self):
+        from repro.core.intervals import ExtractionPlan, extract_intervals
+
+        rng = np.random.default_rng(3)
+        for ts in self._sets():
+            plan = ExtractionPlan.from_test_set(ts)
+            permutations = [list(range(len(ts)))] + [
+                [int(i) for i in rng.permutation(len(ts))] for _ in range(3)
+            ]
+            for perm in permutations:
+                reference = extract_intervals(ts.reordered(perm))
+                starts, ends, base = plan.interval_arrays(perm)
+                assert starts.tolist() == [iv.start for iv in reference.intervals]
+                assert ends.tolist() == [iv.end for iv in reference.intervals]
+                assert np.array_equal(base, reference.base_toggles)
+
+    def test_fast_evaluator_equals_weighted_solver_peak(self):
+        from repro.core.bcp import solve_weighted_bcp
+        from repro.core.dpfill import optimal_peak_for_permutation
+        from repro.core.intervals import ExtractionPlan, extract_intervals
+
+        rng = np.random.default_rng(4)
+        for ts in self._sets():
+            plan = ExtractionPlan.from_test_set(ts)
+            for _ in range(3):
+                perm = [int(i) for i in rng.permutation(len(ts))]
+                reference = extract_intervals(ts.reordered(perm))
+                solved = solve_weighted_bcp(reference.intervals, reference.base_toggles)
+                assert optimal_peak_for_permutation(plan, perm) == solved.peak
+
+    def test_search_identical_with_and_without_reuse(self):
+        for ts in self._sets():
+            fast = interleaved_ordering(ts)
+            literal = interleaved_ordering(ts, evaluator=optimal_peak_for_ordering)
+            assert fast.permutation == literal.permutation
+            assert fast.peak == literal.peak
+            assert [(s.k, s.peak, s.improved) for s in fast.trace] == [
+                (s.k, s.peak, s.improved) for s in literal.trace
+            ]
+
+    def test_result_extraction_feeds_dp_fill(self):
+        for ts in self._sets():
+            result = interleaved_ordering(ts)
+            assert result.extraction is not None
+            reused = dp_fill(result.ordered, extraction=result.extraction)
+            scratch = dp_fill(result.ordered)
+            assert reused.peak_toggles == scratch.peak_toggles == result.peak
+            assert np.array_equal(reused.filled.matrix, scratch.filled.matrix)
+            assert reused.is_certified_optimal

@@ -1,0 +1,278 @@
+"""Tests for the sharded multi-process fault-simulation backend.
+
+The contract is the same as the packed engine's: *bit-for-bit parity* with
+the naive reference — same detection maps, same first-detecting pattern
+indices, same fault order — regardless of how the work is partitioned
+across worker processes, which sharding strategy is picked, or whether the
+pool exists at all.  On top of parity, the suite checks the scale-out
+machinery itself: shard-boundary fault dropping (the detected-fault
+broadcast), the jobs=1 / broken-pool inline fallback, worker-count
+resolution, and the experiment runner's deterministic ``--jobs`` merge.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.atpg.collapse import collapse_faults
+from repro.atpg.fault_sim import FaultSimulator
+from repro.atpg.faults import StuckAtFault, full_fault_list
+from repro.circuit.gates import GateType
+from repro.circuit.generator import CircuitSpec, generate_circuit
+from repro.circuit.library import b01_like_fsm, c17
+from repro.circuit.netlist import Circuit
+from repro.cubes.cube import TestSet
+from repro.engine import (
+    NaiveFaultSimulator,
+    PackedFaultSimulator,
+    ShardedBackend,
+    ShardedFaultSimulator,
+    available_backends,
+    get_backend,
+)
+from repro.engine.sharded import (
+    JOBS_ENV_VAR,
+    default_jobs,
+    resolve_jobs,
+    set_default_jobs,
+    worker_pool,
+)
+
+
+def _random_patterns(circuit, n_patterns: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 2, size=(n_patterns, circuit.n_test_pins)).astype(np.int8)
+
+
+def _pooled_simulator(circuit, **kwargs) -> ShardedFaultSimulator:
+    """A sharded simulator with knobs forcing real pool dispatch."""
+    kwargs.setdefault("jobs", 2)
+    kwargs.setdefault("min_chunk_faults", 2)
+    kwargs.setdefault("chunks_per_worker", 2)
+    return ShardedFaultSimulator(circuit, **kwargs)
+
+
+def _and_circuit() -> Circuit:
+    """Two-input AND with one output: a fault with a huge pattern set."""
+    circuit = Circuit("and2")
+    circuit.add_input("a")
+    circuit.add_input("b")
+    circuit.add_gate("out", GateType.AND, ["a", "b"])
+    circuit.add_output("out")
+    circuit.validate()
+    return circuit
+
+
+CIRCUITS = [
+    pytest.param(lambda: c17(), id="c17"),
+    pytest.param(lambda: b01_like_fsm(), id="b01_fsm"),
+    pytest.param(
+        lambda: generate_circuit(CircuitSpec("rand_medium", 12, 20, 400, seed=5)),
+        id="rand_medium",
+    ),
+]
+
+
+class TestShardedParity:
+    @pytest.mark.parametrize("make_circuit", CIRCUITS)
+    @pytest.mark.parametrize("n_patterns", [1, 63, 65, 130])
+    @pytest.mark.parametrize("drop", [True, False])
+    def test_detection_map_parity(self, make_circuit, n_patterns, drop):
+        circuit = make_circuit()
+        patterns = TestSet.from_matrix(_random_patterns(circuit, n_patterns, seed=9))
+        faults = full_fault_list(circuit)
+        naive = NaiveFaultSimulator(circuit).run(patterns, faults, drop_detected=drop)
+        sharded = _pooled_simulator(circuit).run(patterns, faults, drop_detected=drop)
+        # Bit-for-bit: same faults, same first-detecting indices, same order.
+        assert list(naive.detected.items()) == list(sharded.detected.items())
+        assert naive.undetected == sharded.undetected
+        assert naive.coverage == sharded.coverage
+
+    def test_fault_chunk_mode_actually_shards(self):
+        circuit = generate_circuit(CircuitSpec("chunky", 8, 6, 200, seed=21))
+        patterns = TestSet.from_matrix(_random_patterns(circuit, 130, seed=2))
+        faults = collapse_faults(circuit)
+        simulator = _pooled_simulator(circuit)
+        result = simulator.run(patterns, faults)
+        stats = simulator.last_run_stats
+        if stats["mode"] == "inline":
+            pytest.skip("worker pool unavailable in this environment")
+        assert stats["mode"] == "fault-chunks"
+        assert stats["chunks"] > 1
+        packed = PackedFaultSimulator(circuit).run(patterns, faults)
+        assert list(result.detected.items()) == list(packed.detected.items())
+        assert result.undetected == packed.undetected
+
+    def test_facade_resolves_sharded_backend(self):
+        circuit = generate_circuit(CircuitSpec("facade", 8, 6, 200, seed=21))
+        patterns = TestSet.from_matrix(_random_patterns(circuit, 70, seed=2))
+        faults = collapse_faults(circuit)
+        res_sharded = FaultSimulator(circuit, backend="sharded").run(patterns, faults)
+        res_packed = FaultSimulator(circuit, backend="packed").run(patterns, faults)
+        assert list(res_sharded.detected.items()) == list(res_packed.detected.items())
+        assert res_sharded.undetected == res_packed.undetected
+
+    def test_empty_pattern_set(self):
+        circuit = c17()
+        faults = full_fault_list(circuit)
+        result = _pooled_simulator(circuit).run(TestSet([]), faults)
+        assert result.detected_count == 0
+        assert result.undetected == list(faults)
+
+    def test_unknown_fault_net_is_undetected(self):
+        circuit = c17()
+        patterns = TestSet.from_matrix(_random_patterns(circuit, 8, seed=0))
+        ghost = StuckAtFault("no_such_net", 0)
+        result = _pooled_simulator(circuit).run(patterns, [ghost])
+        assert result.undetected == [ghost]
+
+
+class TestShardBoundaryDropping:
+    """Block-wise fault dropping must survive shard boundaries."""
+
+    def test_pattern_shards_broadcast_detected_faults(self):
+        circuit = _and_circuit()
+        matrix = _random_patterns(circuit, 256, seed=3)
+        matrix[0] = [1, 1]  # pattern 0 detects out/s-a-0
+        patterns = TestSet.from_matrix(matrix)
+        faults = [StuckAtFault("out", 0)]
+        simulator = ShardedFaultSimulator(
+            circuit, jobs=2, block_patterns=8, chunks_per_worker=8
+        )
+        result = simulator.run(patterns, faults)
+        stats = simulator.last_run_stats
+        if stats["mode"] == "inline":
+            pytest.skip("worker pool unavailable in this environment")
+        assert stats["mode"] == "pattern-shards"
+        assert stats["chunks"] > 2
+        # The fault is detected at pattern 0; every shard submitted after
+        # that result returned must have been told to skip it entirely.
+        assert stats["shard_dropped_evaluations"] > 0
+        # ...and the deterministic min-merge still reports the true first
+        # detection, identical to the serial backends.
+        packed = PackedFaultSimulator(circuit, block_patterns=8).run(patterns, faults)
+        assert list(result.detected.items()) == list(packed.detected.items())
+        assert result.detected[faults[0]] == 0
+
+    def test_pattern_shards_without_dropping_keep_parity(self):
+        circuit = _and_circuit()
+        patterns = TestSet.from_matrix(_random_patterns(circuit, 256, seed=4))
+        faults = [StuckAtFault("out", 0), StuckAtFault("out", 1)]
+        simulator = ShardedFaultSimulator(
+            circuit, jobs=2, block_patterns=8, chunks_per_worker=8
+        )
+        result = simulator.run(patterns, faults, drop_detected=False)
+        stats = simulator.last_run_stats
+        if stats["mode"] == "inline":
+            pytest.skip("worker pool unavailable in this environment")
+        assert stats["shard_dropped_evaluations"] == 0
+        packed = PackedFaultSimulator(circuit, block_patterns=8).run(
+            patterns, faults, drop_detected=False
+        )
+        assert list(result.detected.items()) == list(packed.detected.items())
+
+
+class TestFallbacks:
+    def test_jobs_1_runs_inline(self):
+        circuit = c17()
+        patterns = TestSet.from_matrix(_random_patterns(circuit, 65, seed=1))
+        faults = full_fault_list(circuit)
+        simulator = ShardedFaultSimulator(circuit, jobs=1)
+        result = simulator.run(patterns, faults)
+        assert simulator.last_run_stats["mode"] == "inline"
+        packed = PackedFaultSimulator(circuit).run(patterns, faults)
+        assert list(result.detected.items()) == list(packed.detected.items())
+
+    def test_small_workloads_stay_inline_despite_jobs(self):
+        # Default knobs: a handful of faults over a handful of patterns is
+        # not worth a single pickle round trip.
+        circuit = c17()
+        patterns = TestSet.from_matrix(_random_patterns(circuit, 16, seed=1))
+        simulator = ShardedFaultSimulator(circuit, jobs=4)
+        simulator.run(patterns, full_fault_list(circuit)[:4])
+        assert simulator.last_run_stats["mode"] == "inline"
+
+    def test_worker_pool_refuses_single_job(self):
+        assert worker_pool(1) is None
+
+    def test_drop_flag_does_not_change_results(self):
+        circuit = generate_circuit(CircuitSpec("dropflag", 8, 6, 150, seed=7))
+        patterns = TestSet.from_matrix(_random_patterns(circuit, 200, seed=7))
+        faults = collapse_faults(circuit)
+        simulator = _pooled_simulator(circuit)
+        with_drop = simulator.run(patterns, faults, drop_detected=True)
+        without_drop = simulator.run(patterns, faults, drop_detected=False)
+        assert list(with_drop.detected.items()) == list(without_drop.detected.items())
+        assert with_drop.undetected == without_drop.undetected
+
+
+class TestJobsResolution:
+    def test_env_var_sets_default(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "3")
+        assert default_jobs() == 3
+        assert resolve_jobs() == 3
+
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "3")
+        assert resolve_jobs(5) == 5
+
+    def test_set_default_jobs_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "3")
+        previous = set_default_jobs(2)
+        try:
+            assert resolve_jobs() == 2
+        finally:
+            set_default_jobs(previous)
+        assert resolve_jobs() == 3
+
+    def test_invalid_env_var_rejected(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "many")
+        with pytest.raises(ValueError, match="REPRO_JOBS"):
+            default_jobs()
+
+    def test_floor_of_one(self):
+        assert resolve_jobs(0) == 1
+        assert resolve_jobs(-3) == 1
+
+
+class TestBackendRegistration:
+    def test_sharded_backend_registered(self):
+        assert "sharded" in available_backends()
+        backend = get_backend("sharded")
+        assert isinstance(backend, ShardedBackend)
+
+    def test_fault_simulator_shares_compiled_program(self):
+        circuit = c17()
+        backend = get_backend("sharded")
+        first = backend.fault_simulator(circuit)
+        second = backend.logic_simulator(circuit)
+        assert isinstance(first, ShardedFaultSimulator)
+        assert first.program is second.program
+
+    def test_sharded_and_packed_share_program_shape(self):
+        circuit = c17()
+        sharded = get_backend("sharded").fault_simulator(circuit)
+        packed = get_backend("packed").fault_simulator(circuit)
+        assert sharded.program.net_names == packed.program.net_names
+
+
+class TestRunnerJobs:
+    """--jobs N must be a pure scheduling knob: byte-identical reports."""
+
+    def test_parallel_report_matches_serial(self, tmp_path):
+        from repro.experiments.runner import main
+
+        serial_out = tmp_path / "serial.txt"
+        parallel_out = tmp_path / "parallel.txt"
+        base = ["--artifacts", "1,fig1", "--benchmarks", "b01,b03"]
+        assert main(base + ["--out", str(serial_out)]) == 0
+        assert main(base + ["--jobs", "2", "--out", str(parallel_out)]) == 0
+        assert serial_out.read_bytes() == parallel_out.read_bytes()
+
+    def test_jobs_flag_parsed(self):
+        from repro.experiments.runner import build_parser
+
+        args = build_parser().parse_args(["--jobs", "4"])
+        assert args.jobs == 4
+        assert build_parser().parse_args([]).jobs is None
