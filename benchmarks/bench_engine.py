@@ -16,12 +16,20 @@ Two entry points:
   plus speedups and the git SHA) so the perf trajectory is machine-readable
   from PR 2 onward.
 
-Acceptance gates on the largest profile's fault-simulation run:
+The standalone mode also sweeps the packed fault-grading *modes* — big-int
+``lanes`` vs the vectorised uint64 ``words`` table — across pattern widths
+on one profile, records the lanes→words crossover in ``BENCH_engine.json``
+and prints where ``mode="auto"`` switches relative to the measured one.
 
-* packed must be at least 5x faster than naive (the engine-subsystem gate);
+Acceptance gates:
+
+* packed must be at least 5x faster than naive on the largest profile (the
+  engine-subsystem gate);
 * sharded must be at least 2x faster than packed with 4 workers — enforced
   only when the machine actually has 4+ cores (process parallelism cannot
-  beat a serial run on fewer), reported informationally otherwise.
+  beat a serial run on fewer), reported informationally otherwise;
+* the ``words`` fault mode must be at least 1.5x faster than ``lanes`` on a
+  >= 4096-pattern profile (single-core SIMD throughput, so always enforced).
 """
 
 from __future__ import annotations
@@ -34,17 +42,27 @@ import time
 from pathlib import Path
 from typing import Callable, Dict, List, Tuple
 
+import numpy as np
 import pytest
 
 from repro.atpg.collapse import collapse_faults
 from repro.core.dpfill import dp_fill
 from repro.cubes.cube import TestSet
 from repro.engine.backend import get_backend
-from repro.engine.sharded import resolve_jobs, set_default_jobs
+from repro.engine.fault import PackedFaultSimulator
+from repro.engine.packed import LANE_MODE_MAX_PATTERNS
+from repro.engine.sharded import JOBS_ENV_VAR, parse_jobs, set_default_jobs
 from repro.experiments.workloads import Workload, build_workload, default_workload_names
 from repro.power.estimator import PowerEstimator
 
 BACKENDS = ["naive", "packed", "sharded"]
+
+#: Profile and pattern widths for the lanes-vs-words fault-mode sweep.  The
+#: widths straddle the auto-mode crossover (LANE_MODE_MAX_PATTERNS = 4096);
+#: the >= 1.5x acceptance gate applies at the widths past it.
+FAULT_MODE_PROFILE = "b08"
+FAULT_MODE_WIDTHS = [512, 1024, 2048, 4096, 8192]
+FAULT_MODE_GATE_SPEEDUP = 1.5
 
 #: Workers the standalone sharded benchmark runs with (the acceptance gate
 #: is defined at 4 workers); override with REPRO_JOBS.
@@ -89,6 +107,26 @@ def test_bench_fault_simulation(benchmark, name, backend):
     simulator = get_backend(backend).fault_simulator(workload.circuit)
     result = benchmark(lambda: simulator.run(patterns, faults))
     assert result.n_patterns == len(patterns)
+
+
+def _wide_patterns(circuit, n_patterns: int) -> TestSet:
+    """A deterministic random pattern set of the requested width."""
+    rng = np.random.default_rng(7)
+    return TestSet.from_matrix(
+        rng.integers(0, 2, size=(n_patterns, circuit.n_test_pins)).astype(np.int8)
+    )
+
+
+@pytest.mark.parametrize("fault_mode", ["lanes", "words"])
+@pytest.mark.parametrize("n_patterns", [1024, 4096])
+def test_bench_fault_mode(benchmark, n_patterns, fault_mode):
+    workload = build_workload(FAULT_MODE_PROFILE)
+    patterns = _wide_patterns(workload.circuit, n_patterns)
+    faults = collapse_faults(workload.circuit)
+    program = get_backend("packed").compiled_program(workload.circuit)
+    simulator = PackedFaultSimulator(workload.circuit, program=program, mode=fault_mode)
+    result = benchmark(lambda: simulator.run(patterns, faults))
+    assert result.n_patterns == n_patterns
 
 
 @pytest.mark.parametrize("backend", BACKENDS)
@@ -136,9 +174,9 @@ def _available_cores() -> int:
         return os.cpu_count() or 1
 
 
-def _write_json(rows: List[dict], jobs: int, largest: dict) -> None:
+def _write_json(rows: List[dict], jobs: int, largest: dict, fault_modes: dict) -> None:
     payload = {
-        "schema": 1,
+        "schema": 2,
         "git_sha": _git_sha(),
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "python": sys.version.split()[0],
@@ -148,14 +186,90 @@ def _write_json(rows: List[dict], jobs: int, largest: dict) -> None:
         "backends": list(BACKENDS),
         "profiles": rows,
         "largest": largest,
+        "fault_modes": fault_modes,
     }
     BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"\nwrote {BENCH_JSON.resolve()}")
 
 
+def _fault_mode_sweep() -> dict:
+    """Time lanes vs words fault grading across pattern widths (one profile).
+
+    Parity between the modes is asserted before any timing is reported.
+    Returns the machine-readable section for ``BENCH_engine.json``: one row
+    per width plus the measured lanes->words crossover (the smallest width
+    where words wins) alongside the built-in auto-mode threshold.
+    """
+    workload = build_workload(FAULT_MODE_PROFILE)
+    circuit = workload.circuit
+    faults = collapse_faults(circuit)
+    program = get_backend("packed").compiled_program(circuit)
+
+    print(
+        f"\nfault-grading modes on {FAULT_MODE_PROFILE} "
+        f"({circuit.n_gates} gates, {len(faults)} faults):"
+    )
+    header = f"{'patterns':>8} {'lanes (ms)':>11} {'words (ms)':>11} {'words speedup':>13}"
+    print(header)
+    print("-" * len(header))
+    rows: List[dict] = []
+    for n_patterns in FAULT_MODE_WIDTHS:
+        patterns = _wide_patterns(circuit, n_patterns)
+        timings: Dict[str, float] = {}
+        results = {}
+        for fault_mode in ("lanes", "words"):
+            t_mode, res = _time_best(
+                lambda mode=fault_mode: lambda: PackedFaultSimulator(
+                    circuit, program=program, mode=mode
+                ).run(patterns, faults),
+                repeats=2,
+            )
+            timings[fault_mode] = t_mode
+            results[fault_mode] = res
+        assert list(results["lanes"].detected.items()) == list(
+            results["words"].detected.items()
+        ), n_patterns
+        assert results["lanes"].undetected == results["words"].undetected, n_patterns
+        speedup = timings["lanes"] / timings["words"]
+        rows.append(
+            {
+                "patterns": n_patterns,
+                "seconds": {"lanes": timings["lanes"], "words": timings["words"]},
+                "words_speedup": speedup,
+            }
+        )
+        print(
+            f"{n_patterns:>8} {timings['lanes'] * 1000:>11.1f} "
+            f"{timings['words'] * 1000:>11.1f} {speedup:>12.2f}x"
+        )
+
+    crossover = next(
+        (row["patterns"] for row in rows if row["words_speedup"] >= 1.0), None
+    )
+    gate_rows = [
+        row for row in rows if row["patterns"] >= LANE_MODE_MAX_PATTERNS
+    ]
+    gate_row = max(gate_rows, key=lambda row: row["words_speedup"])
+    print(
+        f"measured lanes->words crossover: {crossover} patterns "
+        f"(auto mode switches above {LANE_MODE_MAX_PATTERNS}); "
+        f"best words speedup past the threshold: {gate_row['words_speedup']:.2f}x "
+        f"at {gate_row['patterns']} patterns"
+    )
+    return {
+        "profile": FAULT_MODE_PROFILE,
+        "widths": rows,
+        "crossover_patterns": crossover,
+        "auto_threshold_patterns": LANE_MODE_MAX_PATTERNS,
+        "gate_patterns": gate_row["patterns"],
+        "words_gate_speedup": gate_row["words_speedup"],
+    }
+
+
 def main() -> int:
     """Print the backend speedup table; write ``BENCH_engine.json``."""
-    jobs = resolve_jobs(int(os.environ.get("REPRO_JOBS", "0") or 0) or BENCH_JOBS)
+    env = os.environ.get(JOBS_ENV_VAR, "").strip()
+    jobs = parse_jobs(env, source=JOBS_ENV_VAR) if env else BENCH_JOBS
     previous_jobs = set_default_jobs(jobs)
     try:
         return _main(jobs)
@@ -241,7 +355,8 @@ def _main(jobs: int) -> int:
         f"\nlargest profile ({largest_row['circuit']}): packed {packed_speedup:.1f}x vs naive, "
         f"sharded {sharded_speedup:.1f}x vs packed ({jobs} workers, {cores} cores available)"
     )
-    _write_json(rows, jobs, largest)
+    fault_modes = _fault_mode_sweep()
+    _write_json(rows, jobs, largest, fault_modes)
 
     code = 0
     if packed_speedup < 5.0:
@@ -256,6 +371,13 @@ def _main(jobs: int) -> int:
             f"note: sharded gate not enforced — {cores} core(s) available, "
             "process parallelism cannot beat a serial run here"
         )
+    if fault_modes["words_gate_speedup"] < FAULT_MODE_GATE_SPEEDUP:
+        print(
+            f"WARNING: words fault mode below the {FAULT_MODE_GATE_SPEEDUP}x "
+            f"acceptance threshold on every >= {LANE_MODE_MAX_PATTERNS}-pattern "
+            "profile"
+        )
+        code = 1
     return code
 
 

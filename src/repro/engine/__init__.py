@@ -24,14 +24,20 @@ from repro.engine.backend import (
 from repro.engine.compile import CompiledCircuit, compile_circuit
 from repro.engine.fault import (
     DROP_BLOCK_PATTERNS,
+    FAULT_MODE_ENV_VAR,
+    FAULT_MODES,
+    WORD_DROP_BLOCK_PATTERNS,
     FaultSimulationResult,
     NaiveFaultSimulator,
     PackedFaultSimulator,
+    fault_mode_uses_words,
+    resolve_fault_mode,
 )
 from repro.engine.packed import (
     LANE_MODE_MAX_PATTERNS,
     PackedLogicSimulator,
     pack_patterns,
+    tail_mask,
     unpack_values,
 )
 from repro.engine.sharded import (
@@ -39,6 +45,7 @@ from repro.engine.sharded import (
     ShardedBackend,
     ShardedFaultSimulator,
     default_jobs,
+    parse_jobs,
     resolve_jobs,
     set_default_jobs,
     shutdown_worker_pool,
@@ -49,8 +56,11 @@ __all__ = [
     "BACKEND_ENV_VAR",
     "DEFAULT_BACKEND_NAME",
     "DROP_BLOCK_PATTERNS",
+    "FAULT_MODE_ENV_VAR",
+    "FAULT_MODES",
     "JOBS_ENV_VAR",
     "LANE_MODE_MAX_PATTERNS",
+    "WORD_DROP_BLOCK_PATTERNS",
     "CompiledCircuit",
     "FaultSimulationResult",
     "NaiveBackend",
@@ -65,13 +75,17 @@ __all__ = [
     "compile_circuit",
     "default_backend_name",
     "default_jobs",
+    "fault_mode_uses_words",
     "get_backend",
     "pack_patterns",
+    "parse_jobs",
     "register_backend",
+    "resolve_fault_mode",
     "resolve_jobs",
     "set_default_backend",
     "set_default_jobs",
     "shutdown_worker_pool",
+    "tail_mask",
     "unpack_values",
     "worker_pool",
 ]

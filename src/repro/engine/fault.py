@@ -10,6 +10,25 @@ observable-difference detection semantics as the original
 * a fault is detected at the first pattern where any observable net (primary
   output or flip-flop data input) differs from the good machine.
 
+**Grading modes.**  Like the packed logic simulator, the packed fault path
+has two execution strategies sharing the compiled program and producing
+bit-identical results:
+
+* ``"lanes"`` — good machine and faulty cones on arbitrary-width python
+  big-ints (:func:`packed_first_detects`).  Minimal per-op dispatch; wins
+  for the narrow pattern sets ATPG grading uses.
+* ``"words"`` — good machine cached as a dense ``(n_nets, n_words)``
+  ``uint64`` table, faulty cones re-simulated word-wise with vectorised
+  NumPy bitwise ops and detection words diffed at the observables under an
+  explicit last-word mask (:func:`packed_first_detects_words`).  NumPy's
+  per-call overhead is amortised over many words, so this wins once pattern
+  sets grow wide (thousands of patterns — the fill-sweep / figure-2 shapes).
+
+``mode="auto"`` (the default) switches at
+:data:`~repro.engine.packed.LANE_MODE_MAX_PATTERNS` patterns, exactly like
+the logic simulator; the ``REPRO_FAULT_MODE`` environment variable forces a
+mode process-wide (:func:`resolve_fault_mode`).
+
 **Fault dropping** is implemented by processing the pattern set in blocks of
 :data:`DROP_BLOCK_PATTERNS` patterns: once a fault is detected in a block it
 is dropped, i.e. its cone is never re-simulated for the remaining blocks.
@@ -26,6 +45,7 @@ on the engine without an import cycle.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -48,17 +68,61 @@ from repro.engine.compile import (
     OP_XOR,
     compile_circuit,
 )
-from repro.engine.packed import evaluate_lanes, pack_lanes
+from repro.engine.packed import (
+    LANE_MODE_MAX_PATTERNS,
+    WORD_BITS,
+    evaluate_lanes,
+    evaluate_words,
+    pack_lanes,
+    pack_patterns,
+    tail_mask,
+)
 
 #: Patterns per fault-dropping block.  Two packed words: wide enough that the
 #: per-block bookkeeping is negligible, narrow enough that a fault detected
 #: by the early patterns skips most of a large pattern set.
 DROP_BLOCK_PATTERNS = 128
 
+#: Default fault-dropping block in ``"words"`` mode.  NumPy's ~µs per-call
+#: dispatch must be amortised over many 64-bit words per cone op, so word
+#: blocks are much wider than lane blocks (64 words here; narrower blocks
+#: measurably lose to lanes, wider ones starve fault dropping).  Results are
+#: block-size-invariant either way — blocking only bounds skippable work.
+WORD_DROP_BLOCK_PATTERNS = 4096
+
+#: Environment variable forcing the packed fault-grading mode process-wide.
+FAULT_MODE_ENV_VAR = "REPRO_FAULT_MODE"
+
+FAULT_MODES = ("auto", "lanes", "words")
+
+
+def resolve_fault_mode(mode: Optional[str] = None) -> str:
+    """Resolve a fault-grading mode (explicit arg > ``REPRO_FAULT_MODE`` > auto).
+
+    Raises:
+        ValueError: for names outside :data:`FAULT_MODES`.
+    """
+    if mode is None:
+        mode = os.environ.get(FAULT_MODE_ENV_VAR, "").strip() or "auto"
+    if mode not in FAULT_MODES:
+        raise ValueError(f"unknown fault mode {mode!r}; choose from {FAULT_MODES}")
+    return mode
+
+
+def fault_mode_uses_words(mode: str, n_patterns: int) -> bool:
+    """Whether ``mode`` grades ``n_patterns`` patterns on the word table."""
+    if mode == "auto":
+        return n_patterns > LANE_MODE_MAX_PATTERNS
+    return mode == "words"
+
 
 @dataclass
 class FaultSimulationResult:
     """Outcome of fault-simulating a pattern set against a fault list.
+
+    Duplicate faults in the input list are collapsed to their first
+    occurrence — every backend grades a fault once, so ``coverage`` is a
+    fraction of *distinct* faults and ``undetected`` never repeats an entry.
 
     Attributes:
         detected: mapping from fault to the index of the first detecting
@@ -96,7 +160,9 @@ def _validate_run(
     n_patterns = len(patterns)
     if n_patterns == 0:
         # An empty pattern set detects nothing; there is no pin width to check.
-        return FaultSimulationResult(n_patterns=0, undetected=list(faults))
+        return FaultSimulationResult(
+            n_patterns=0, undetected=list(dict.fromkeys(faults))
+        )
     if patterns.n_pins != n_test_pins:
         raise ValueError(
             f"patterns have {patterns.n_pins} pins, circuit expects {n_test_pins}"
@@ -104,14 +170,34 @@ def _validate_run(
     return None
 
 
+def _unique_faults(faults: Sequence[object]) -> List[object]:
+    """The fault list with duplicates collapsed to their first occurrence.
+
+    Occurrences of a fault grade identically (same cone, same patterns), so
+    every backend dedupes before grading: duplicates cost no cone work, and
+    without deduplication the ``detected`` dict would collapse them while
+    ``undetected`` repeated them, skewing ``coverage`` by input-list
+    bookkeeping.
+    """
+    return list(dict.fromkeys(faults))
+
+
 def _assemble(
     faults: Sequence[object],
     first_detect: List[Optional[int]],
     n_patterns: int,
 ) -> FaultSimulationResult:
-    """Build a result in input fault order (identical across backends)."""
+    """Build a result in input fault order (identical across backends).
+
+    Callers pass the :func:`_unique_faults` list; the seen-set is a cheap
+    backstop keeping results consistent for any direct caller that does not.
+    """
     result = FaultSimulationResult(n_patterns=n_patterns)
+    seen = set()
     for fault, index in zip(faults, first_detect):
+        if fault in seen:
+            continue
+        seen.add(fault)
         if index is None:
             result.undetected.append(fault)
         else:
@@ -202,6 +288,7 @@ class NaiveFaultSimulator:
         early = _validate_run(patterns, self.circuit.n_test_pins, faults)
         if early is not None:
             return early
+        faults = _unique_faults(faults)
         n_patterns = len(patterns)
         good_values = self._logic.simulate(patterns.matrix)
         first_detect: List[Optional[int]] = [None] * len(faults)
@@ -395,26 +482,223 @@ def packed_first_detects(
     return first_detect
 
 
+def packed_first_detects_words(
+    program,
+    good: np.ndarray,
+    n_patterns: int,
+    sites: Sequence[Optional[int]],
+    stuck_values: Sequence[int],
+    block_patterns: int = WORD_DROP_BLOCK_PATTERNS,
+    drop_detected: bool = True,
+    pattern_start: int = 0,
+    pattern_stop: Optional[int] = None,
+    stats: Optional[Dict[str, int]] = None,
+) -> List[Optional[int]]:
+    """Word-table counterpart of :func:`packed_first_detects`.
+
+    The good machine is a cached ``(n_nets, n_words)`` ``uint64`` table
+    (:func:`~repro.engine.packed.evaluate_words`); each fault's cone is
+    re-simulated word-wise with vectorised NumPy bitwise ops over the block's
+    word slice, and detection words are diffed at the observable rows under
+    an explicit validity mask — :func:`~repro.engine.packed.tail_mask` for
+    the last word plus range masks for non-word-aligned shard boundaries —
+    so tail garbage can never read as a detection.  Same arguments, return
+    value and fault-dropping semantics as the lanes version; first-detect
+    indices are bit-identical.
+
+    Args:
+        good: good-machine word table covering all ``n_patterns`` patterns.
+        block_patterns: rounded up to whole 64-pattern words; word blocks
+            default much wider than lane blocks (NumPy dispatch amortises
+            across the words of a block).
+        (remaining arguments: see :func:`packed_first_detects`)
+    """
+    if stats is None:
+        stats = _new_stats()
+    if pattern_stop is None:
+        pattern_stop = n_patterns
+    n_faults = len(sites)
+    first_detect: List[Optional[int]] = [None] * n_faults
+    if pattern_stop - pattern_start <= 0 or n_faults == 0:
+        return first_detect
+
+    ones = np.uint64(0xFFFFFFFFFFFFFFFF)
+    word_lo = pattern_start // WORD_BITS
+    word_hi = -(-pattern_stop // WORD_BITS)
+    # Per-word validity masks over [pattern_start, pattern_stop): interior
+    # words are fully valid; the boundary words mask off out-of-range bits
+    # (the global tail is one such boundary whenever pattern_stop ==
+    # n_patterns does not fill its last word).
+    valid = np.full(word_hi - word_lo, ones, dtype=np.uint64)
+    head_bits = pattern_start - word_lo * WORD_BITS
+    if head_bits:
+        valid[0] &= np.uint64(~((1 << head_bits) - 1) & 0xFFFFFFFFFFFFFFFF)
+    if pattern_stop < word_hi * WORD_BITS:
+        valid[-1] &= tail_mask(pattern_stop)
+
+    block_words = -(-max(1, int(block_patterns)) // WORD_BITS)
+    if not drop_detected:
+        block_words = word_hi - word_lo  # single full-width pass
+    stuck_flags = [bool(value) for value in stuck_values]
+    node_prog = program.node_prog
+    for block_lo in range(word_lo, word_hi, block_words):
+        block_hi = min(block_lo + block_words, word_hi)
+        stats["blocks"] += 1
+        width = block_hi - block_lo
+        good_block = good[:, block_lo:block_hi]
+        valid_block = valid[block_lo - word_lo : block_hi - word_lo]
+        forced_zeros = np.zeros(width, dtype=np.uint64)
+        forced_ones = np.full(width, ones, dtype=np.uint64)
+        pending = 0
+        for index in range(n_faults):
+            row = sites[index]
+            if row is None:
+                continue
+            if first_detect[index] is not None:
+                if drop_detected:
+                    stats["dropped_block_evaluations"] += 1
+                    continue
+            cone = program.cone(row)
+            if not cone.detect_rows and not cone.site_observable:
+                continue  # structurally unobservable: undetected, no work
+            stats["cone_evaluations"] += 1
+            forced = forced_ones if stuck_flags[index] else forced_zeros
+            faulty: Dict[int, np.ndarray] = {row: forced}
+            fget = faulty.get
+            # Overlay values are either fresh arrays or read-only views of
+            # the good table / forced constants; every in-place op below
+            # runs only after `fresh` proves the accumulator was allocated
+            # by this gate, so shared storage is never mutated.  Opcode
+            # dispatch mirrors packed_first_detects (see the note there).
+            for pos in cone.positions:
+                op, out, src = node_prog[pos]
+                if op == OP_AND or op == OP_NAND:
+                    v = fget(src[0])
+                    acc = good_block[src[0]] if v is None else v
+                    fresh = False
+                    for r in src[1:]:
+                        v = fget(r)
+                        operand = good_block[r] if v is None else v
+                        if fresh:
+                            np.bitwise_and(acc, operand, out=acc)
+                        else:
+                            acc = acc & operand
+                            fresh = True
+                    if op == OP_NAND:
+                        acc = (
+                            np.bitwise_xor(acc, ones, out=acc)
+                            if fresh
+                            else acc ^ ones
+                        )
+                elif op == OP_OR or op == OP_NOR:
+                    v = fget(src[0])
+                    acc = good_block[src[0]] if v is None else v
+                    fresh = False
+                    for r in src[1:]:
+                        v = fget(r)
+                        operand = good_block[r] if v is None else v
+                        if fresh:
+                            np.bitwise_or(acc, operand, out=acc)
+                        else:
+                            acc = acc | operand
+                            fresh = True
+                    if op == OP_NOR:
+                        acc = (
+                            np.bitwise_xor(acc, ones, out=acc)
+                            if fresh
+                            else acc ^ ones
+                        )
+                elif op == OP_XOR or op == OP_XNOR:
+                    v = fget(src[0])
+                    acc = good_block[src[0]] if v is None else v
+                    fresh = False
+                    for r in src[1:]:
+                        v = fget(r)
+                        operand = good_block[r] if v is None else v
+                        if fresh:
+                            np.bitwise_xor(acc, operand, out=acc)
+                        else:
+                            acc = acc ^ operand
+                            fresh = True
+                    if op == OP_XNOR:
+                        acc = (
+                            np.bitwise_xor(acc, ones, out=acc)
+                            if fresh
+                            else acc ^ ones
+                        )
+                elif op == OP_NOT:
+                    v = fget(src[0])
+                    acc = (good_block[src[0]] if v is None else v) ^ ones
+                elif op == OP_BUF:
+                    v = fget(src[0])
+                    acc = good_block[src[0]] if v is None else v
+                elif op == OP_CONST0:
+                    acc = forced_zeros
+                else:  # OP_CONST1
+                    acc = forced_ones
+                faulty[out] = acc
+            diff = (good_block[row] ^ forced) if cone.site_observable else None
+            for obs in cone.detect_rows:
+                delta = faulty[obs] ^ good_block[obs]
+                if diff is None:
+                    diff = delta
+                else:
+                    np.bitwise_or(diff, delta, out=diff)
+            np.bitwise_and(diff, valid_block, out=diff)
+            nonzero = np.nonzero(diff)[0]
+            if nonzero.size:
+                if first_detect[index] is None:
+                    word = int(nonzero[0])
+                    bits = int(diff[word])
+                    first_detect[index] = (block_lo + word) * WORD_BITS + (
+                        (bits & -bits).bit_length() - 1
+                    )
+            else:
+                pending += 1
+        if drop_detected and pending == 0:
+            break
+    return first_detect
+
+
 class PackedFaultSimulator:
     """Bit-packed fault simulator over the compiled program.
 
-    Good-machine values and faulty cones are evaluated on big-int lanes
-    (see :mod:`repro.engine.packed`): the cone of each fault is compiled
-    once into flat ``(op, out_row, src_rows)`` triples, and re-evaluating it
-    for a 128-pattern block is a handful of C-level big-int bitwise ops —
-    no gate objects, no name dictionaries, no NumPy dispatch.
+    The cone of each fault is compiled once into flat ``(op, out_row,
+    src_rows)`` triples and re-evaluated per fault-dropping block, either on
+    big-int lanes (a handful of C-level big-int bitwise ops per block — no
+    gate objects, no name dictionaries, no NumPy dispatch) or on the NumPy
+    uint64 word table for wide pattern sets; see the module docstring for
+    the mode trade-off.
+
+    Args:
+        circuit: circuit under test (compiled here if no ``program`` given).
+        block_patterns: fault-dropping block size; defaults per mode
+            (:data:`DROP_BLOCK_PATTERNS` for lanes,
+            :data:`WORD_DROP_BLOCK_PATTERNS` for words).
+        program: reuse an already-compiled program for ``circuit``.
+        mode: ``"auto"``, ``"lanes"`` or ``"words"``; ``None`` resolves
+            through :func:`resolve_fault_mode` (``REPRO_FAULT_MODE``).
     """
 
     def __init__(
         self,
         circuit: Circuit,
-        block_patterns: int = DROP_BLOCK_PATTERNS,
+        block_patterns: Optional[int] = None,
         program: "Optional[object]" = None,
+        mode: Optional[str] = None,
     ) -> None:
         self.circuit = circuit
-        self.block_patterns = max(1, int(block_patterns))
+        self.mode = resolve_fault_mode(mode)
+        self.block_patterns = (
+            max(1, int(block_patterns)) if block_patterns is not None else None
+        )
         self.program = program if program is not None else compile_circuit(circuit)
         self.last_run_stats: Dict[str, int] = _new_stats()
+
+    def _block_patterns_for(self, use_words: bool) -> int:
+        if self.block_patterns is not None:
+            return self.block_patterns
+        return WORD_DROP_BLOCK_PATTERNS if use_words else DROP_BLOCK_PATTERNS
 
     def run(
         self,
@@ -428,23 +712,39 @@ class PackedFaultSimulator:
         early = _validate_run(patterns, program.n_inputs, faults)
         if early is not None:
             return early
+        faults = _unique_faults(faults)
         n_patterns = len(patterns)
         matrix = check_pattern_matrix(patterns.matrix, program.n_inputs)
-        full_mask = (1 << n_patterns) - 1
-        good = evaluate_lanes(program, pack_lanes(matrix), full_mask)
+        use_words = fault_mode_uses_words(self.mode, n_patterns)
+        stats["fault_mode"] = "words" if use_words else "lanes"
 
         # Resolve fault sites once; faults on unknown nets can never be
         # detected (matching the naive simulator's empty-cone behaviour).
         sites: List[Optional[int]] = [program.row_of(f.net) for f in faults]
         stuck_values = [1 if f.stuck_value else 0 for f in faults]
-        first_detect = packed_first_detects(
-            program,
-            good,
-            n_patterns,
-            sites,
-            stuck_values,
-            block_patterns=self.block_patterns,
-            drop_detected=drop_detected,
-            stats=stats,
-        )
+        if use_words:
+            good_table = evaluate_words(program, pack_patterns(matrix), n_patterns)
+            first_detect = packed_first_detects_words(
+                program,
+                good_table,
+                n_patterns,
+                sites,
+                stuck_values,
+                block_patterns=self._block_patterns_for(True),
+                drop_detected=drop_detected,
+                stats=stats,
+            )
+        else:
+            full_mask = (1 << n_patterns) - 1
+            good = evaluate_lanes(program, pack_lanes(matrix), full_mask)
+            first_detect = packed_first_detects(
+                program,
+                good,
+                n_patterns,
+                sites,
+                stuck_values,
+                block_patterns=self._block_patterns_for(False),
+                drop_detected=drop_detected,
+                stats=stats,
+            )
         return _assemble(faults, first_detect, n_patterns)

@@ -54,6 +54,23 @@ LANE_MODE_MAX_PATTERNS = 4096
 
 WORD_BITS = 64
 
+_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def tail_mask(n_patterns: int) -> np.uint64:
+    """Valid-bit mask for the last word of an ``n_patterns``-wide table.
+
+    Bit ``j`` is set iff pattern ``(n_words - 1) * 64 + j`` exists; the mask
+    is all ones when the pattern count fills its last word exactly.  Every
+    word-table consumer ANDs the last word with this before interpreting its
+    bits, so garbage produced there (inverting ops complement *all* 64 bits)
+    can never be misread as pattern data.
+    """
+    remainder = n_patterns % WORD_BITS
+    if remainder == 0:
+        return _ALL_ONES
+    return np.uint64((1 << remainder) - 1)
+
 
 # -- packing ---------------------------------------------------------------
 def pack_patterns(matrix: np.ndarray) -> np.ndarray:
@@ -71,7 +88,14 @@ def pack_patterns(matrix: np.ndarray) -> np.ndarray:
 
 
 def unpack_values(words: np.ndarray, n_patterns: int) -> np.ndarray:
-    """Unpack a ``(rows, n_words)`` uint64 table to ``(rows, n_patterns)`` bool."""
+    """Unpack a ``(rows, n_words)`` uint64 table to ``(rows, n_patterns)`` bool.
+
+    Tail-safe by construction: unpacked column ``j`` is bit ``j % 64`` of
+    word ``j // 64``, so the ``:n_patterns`` slice drops exactly the bits
+    :func:`tail_mask` would zero — garbage beyond the pattern count never
+    reaches the bool matrix, even from a table that escaped the producers'
+    masking.
+    """
     if words.size == 0:
         return np.zeros((words.shape[0], n_patterns), dtype=bool)
     as_bytes = np.ascontiguousarray(words.astype("<u8", copy=False)).view(np.uint8)
@@ -151,18 +175,24 @@ def evaluate_lanes(
 
 
 # -- word-table evaluation -------------------------------------------------
-def evaluate_words(program: CompiledCircuit, packed_inputs: np.ndarray) -> np.ndarray:
+def evaluate_words(
+    program: CompiledCircuit,
+    packed_inputs: np.ndarray,
+    n_patterns: Optional[int] = None,
+) -> np.ndarray:
     """Evaluate the compiled program over a uint64 word table.
 
     Args:
         program: compiled circuit.
         packed_inputs: ``(n_inputs, n_words)`` uint64 array from
             :func:`pack_patterns`.
+        n_patterns: number of patterns the words hold; defaults to the full
+            ``n_words * 64``.
 
     Returns:
-        The full ``(n_nets, n_words)`` value table.  Bits beyond the pattern
-        count in the last word are unspecified (inverting ops leave garbage
-        there); consumers mask or slice them away.
+        The full ``(n_nets, n_words)`` value table.  Bits beyond
+        ``n_patterns`` in the last word are zeroed (:func:`tail_mask`), so
+        the table is safe to diff or unpack without further masking.
     """
     n_words = packed_inputs.shape[1]
     table = np.zeros((program.n_nets, n_words), dtype=np.uint64)
@@ -187,6 +217,8 @@ def evaluate_words(program: CompiledCircuit, packed_inputs: np.ndarray) -> np.nd
         if op in INVERTING_OPS:
             result = ~result
         table[group.out_rows] = result
+    if n_words and n_patterns is not None and n_patterns < n_words * WORD_BITS:
+        table[:, -1] &= tail_mask(n_patterns)
     return table
 
 
@@ -229,7 +261,7 @@ class PackedLogicSimulator:
             mask = (1 << n_patterns) - 1
             lanes = evaluate_lanes(self.program, pack_lanes(matrix), mask)
             return lanes_to_matrix(lanes, n_patterns)
-        table = evaluate_words(self.program, pack_patterns(matrix))
+        table = evaluate_words(self.program, pack_patterns(matrix), n_patterns)
         return unpack_values(table, n_patterns)
 
     # -- LogicSimulator-compatible surface ---------------------------------

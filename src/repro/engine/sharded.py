@@ -28,9 +28,14 @@ Two sharding strategies cover the two workload shapes:
 
 Both strategies produce detection maps and first-detecting pattern indices
 bit-identical to the ``packed`` and ``naive`` backends (the parity suite in
-``tests/test_sharded.py`` asserts this).  Work counters in
-``last_run_stats`` additionally expose ``chunks``, the sharding ``mode`` and
-``shard_dropped_evaluations`` (faults skipped whole-shard by the broadcast).
+``tests/test_sharded.py`` asserts this), and both grade in either packed
+fault mode: chunk tasks carry a ``fault_mode`` so workers grade on big-int
+lanes or on the vectorised uint64 word table (wide pattern sets), resolved
+once in the parent exactly like :class:`~repro.engine.fault.PackedFaultSimulator`
+resolves it — see :func:`~repro.engine.fault.resolve_fault_mode`.  Work
+counters in ``last_run_stats`` additionally expose ``chunks``, the sharding
+``mode``, the packed ``fault_mode`` and ``shard_dropped_evaluations``
+(faults skipped whole-shard by the broadcast).
 
 The pool is created on first use, sized by (in decreasing precedence) the
 explicit ``jobs`` argument, :func:`set_default_jobs`, the ``REPRO_JOBS``
@@ -60,14 +65,19 @@ from repro.engine.backend import PackedBackend, available_backends, register_bac
 from repro.engine.compile import CompiledCircuit, compile_circuit
 from repro.engine.fault import (
     DROP_BLOCK_PATTERNS,
+    WORD_DROP_BLOCK_PATTERNS,
     FaultSimulationResult,
     PackedFaultSimulator,
     _assemble,
     _new_stats,
+    _unique_faults,
     _validate_run,
+    fault_mode_uses_words,
     packed_first_detects,
+    packed_first_detects_words,
+    resolve_fault_mode,
 )
-from repro.engine.packed import evaluate_lanes, pack_lanes
+from repro.engine.packed import evaluate_lanes, evaluate_words, pack_lanes, pack_patterns
 
 #: Environment variable sizing the worker pool (``--jobs`` on the runner).
 JOBS_ENV_VAR = "REPRO_JOBS"
@@ -86,16 +96,39 @@ _CHUNK_TIMEOUT = 600.0
 _default_jobs: Optional[int] = None
 
 
+def parse_jobs(value: object, source: str = "jobs") -> int:
+    """Parse a worker count, rejecting anything but an integer >= 1.
+
+    Worker counts reach the pool from several surfaces (``--jobs``,
+    ``REPRO_JOBS``, python callers); validating here gives every one of them
+    the same clear error instead of an opaque traceback deep inside pool
+    construction (or a silent clamp hiding a typo like ``--jobs -4``).
+
+    Args:
+        value: the raw value (string or number).
+        source: label naming the offending surface in the error message.
+
+    Raises:
+        ValueError: for non-integer or non-positive values.
+    """
+    try:
+        jobs = int(str(value).strip())
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"{source} must be a positive integer, got {value!r}"
+        ) from None
+    if jobs < 1:
+        raise ValueError(f"{source} must be a positive integer, got {value!r}")
+    return jobs
+
+
 def default_jobs() -> int:
     """Worker count used when none is requested explicitly."""
     if _default_jobs is not None:
         return _default_jobs
     env = os.environ.get(JOBS_ENV_VAR, "").strip()
     if env:
-        try:
-            return max(1, int(env))
-        except ValueError:
-            raise ValueError(f"{JOBS_ENV_VAR} must be an integer, got {env!r}") from None
+        return parse_jobs(env, source=JOBS_ENV_VAR)
     return os.cpu_count() or 1
 
 
@@ -106,17 +139,24 @@ def set_default_jobs(jobs: Optional[int]) -> Optional[int]:
         The previous override, so callers can restore it (the experiment
         runner's ``--jobs`` flag uses this exactly like ``--backend`` uses
         :func:`~repro.engine.backend.set_default_backend`).
+
+    Raises:
+        ValueError: for non-integer or non-positive counts.
     """
     global _default_jobs
     previous = _default_jobs
-    _default_jobs = max(1, int(jobs)) if jobs is not None else None
+    _default_jobs = parse_jobs(jobs) if jobs is not None else None
     return previous
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
-    """Resolve a worker count (explicit arg > default > env > cpu count)."""
+    """Resolve a worker count (explicit arg > default > env > cpu count).
+
+    Raises:
+        ValueError: for non-integer or non-positive explicit counts.
+    """
     if jobs is not None:
-        return max(1, int(jobs))
+        return parse_jobs(jobs)
     return default_jobs()
 
 
@@ -247,7 +287,8 @@ def pickled_program(program: CompiledCircuit) -> Tuple[str, bytes]:
 # -- worker side -------------------------------------------------------------
 _WORKER_CACHE_LIMIT = 8
 _worker_programs: "OrderedDict[str, CompiledCircuit]" = OrderedDict()
-_worker_good: "OrderedDict[Tuple[str, str], List[int]]" = OrderedDict()
+#: (program_key, patterns_key, fault_mode) -> good-machine lanes or word table.
+_worker_good: "OrderedDict[Tuple[str, str, str], object]" = OrderedDict()
 
 
 def _cache_put(cache: OrderedDict, key, value) -> None:
@@ -265,18 +306,21 @@ def _worker_program(key: str, blob: bytes) -> CompiledCircuit:
     return program
 
 
-def _worker_good_lanes(
+def _worker_good_machine(
     program: CompiledCircuit,
-    program_key: str,
-    patterns_key: str,
-    input_lanes: Sequence[int],
-    n_patterns: int,
-) -> List[int]:
-    cache_key = (program_key, patterns_key)
+    task: Dict[str, object],
+) -> object:
+    """The cached good machine for a task: big-int lanes or a uint64 table."""
+    fault_mode = task["fault_mode"]
+    cache_key = (task["program_key"], task["patterns_key"], fault_mode)
     good = _worker_good.get(cache_key)
     if good is None:
-        mask = (1 << n_patterns) - 1
-        good = evaluate_lanes(program, list(input_lanes), mask)
+        n_patterns = task["n_patterns"]
+        if fault_mode == "words":
+            good = evaluate_words(program, task["input_words"], n_patterns)
+        else:
+            mask = (1 << n_patterns) - 1
+            good = evaluate_lanes(program, list(task["input_lanes"]), mask)
         _cache_put(_worker_good, cache_key, good)
     return good
 
@@ -284,15 +328,14 @@ def _worker_good_lanes(
 def _simulate_chunk(task: Dict[str, object]) -> Tuple[List[Optional[int]], Dict[str, int]]:
     """Pool task: grade one chunk of faults over one pattern range."""
     program = _worker_program(task["program_key"], task["program_blob"])
-    good = _worker_good_lanes(
-        program,
-        task["program_key"],
-        task["patterns_key"],
-        task["input_lanes"],
-        task["n_patterns"],
-    )
+    good = _worker_good_machine(program, task)
     stats = _new_stats()
-    first = packed_first_detects(
+    first_detects = (
+        packed_first_detects_words
+        if task["fault_mode"] == "words"
+        else packed_first_detects
+    )
+    first = first_detects(
         program,
         good,
         task["n_patterns"],
@@ -316,25 +359,33 @@ class ShardedFaultSimulator:
         jobs: worker count; ``None`` resolves through
             :func:`resolve_jobs` at run time.  ``1`` always runs inline.
         block_patterns: fault-dropping block size (also the pattern-shard
-            alignment unit).
+            alignment unit); defaults per fault mode like
+            :class:`~repro.engine.fault.PackedFaultSimulator`.
         program: reuse an already-compiled program for ``circuit``.
         chunks_per_worker / min_chunk_faults: sharding knobs, mainly for
             tests; the defaults balance load without drowning small runs in
             per-task overhead.
+        mode: packed fault-grading mode (``"auto"``/``"lanes"``/``"words"``)
+            applied identically in every worker; ``None`` resolves through
+            :func:`~repro.engine.fault.resolve_fault_mode`.
     """
 
     def __init__(
         self,
         circuit: Circuit,
         jobs: Optional[int] = None,
-        block_patterns: int = DROP_BLOCK_PATTERNS,
+        block_patterns: Optional[int] = None,
         program: Optional[CompiledCircuit] = None,
         chunks_per_worker: int = CHUNKS_PER_WORKER,
         min_chunk_faults: int = MIN_CHUNK_FAULTS,
+        mode: Optional[str] = None,
     ) -> None:
         self.circuit = circuit
         self.jobs = jobs
-        self.block_patterns = max(1, int(block_patterns))
+        self.mode = resolve_fault_mode(mode)
+        self.block_patterns = (
+            max(1, int(block_patterns)) if block_patterns is not None else None
+        )
         self.program = program if program is not None else compile_circuit(circuit)
         self.chunks_per_worker = max(1, int(chunks_per_worker))
         self.min_chunk_faults = max(1, int(min_chunk_faults))
@@ -347,20 +398,25 @@ class ShardedFaultSimulator:
         stats.update(mode="inline", jobs=jobs, chunks=0, shard_dropped_evaluations=0)
         return stats
 
+    def _block_patterns_for(self, use_words: bool) -> int:
+        if self.block_patterns is not None:
+            return self.block_patterns
+        return WORD_DROP_BLOCK_PATTERNS if use_words else DROP_BLOCK_PATTERNS
+
     # -- planning ----------------------------------------------------------
     def _chunk_plan(
-        self, jobs: int, n_faults: int, n_patterns: int
+        self, jobs: int, n_faults: int, n_patterns: int, block_patterns: int
     ) -> Optional[Tuple[str, List[Tuple[int, int]]]]:
         """Pick a sharding strategy, or ``None`` when sharding cannot pay."""
         max_chunks = jobs * self.chunks_per_worker
-        n_blocks = -(-n_patterns // self.block_patterns)
+        n_blocks = -(-n_patterns // block_patterns)
         if n_faults < 2 * self.min_chunk_faults:
             # Too few faults to split the fault axis; shard pattern blocks
             # instead when there are enough of them to go around.
             if n_faults and n_blocks >= 4:
                 n_shards = min(max_chunks, n_blocks)
                 blocks_per_shard = -(-n_blocks // n_shards)
-                step = blocks_per_shard * self.block_patterns
+                step = blocks_per_shard * block_patterns
                 shards = [
                     (start, min(start + step, n_patterns))
                     for start in range(0, n_patterns, step)
@@ -384,7 +440,10 @@ class ShardedFaultSimulator:
     ) -> FaultSimulationResult:
         if self._inline is None:
             self._inline = PackedFaultSimulator(
-                self.circuit, block_patterns=self.block_patterns, program=self.program
+                self.circuit,
+                block_patterns=self.block_patterns,
+                program=self.program,
+                mode=self.mode,
             )
         result = self._inline.run(patterns, faults, drop_detected=drop_detected)
         for key, value in self._inline.last_run_stats.items():
@@ -402,12 +461,13 @@ class ShardedFaultSimulator:
         faults: Sequence[object],
         drop_detected: bool,
         stats: Dict[str, object],
+        use_words: bool,
+        block_patterns: int,
     ) -> FaultSimulationResult:
         program = self.program
         n_patterns = len(patterns)
         n_faults = len(faults)
         matrix = check_pattern_matrix(patterns.matrix, program.n_inputs)
-        input_lanes = pack_lanes(matrix)
         patterns_key = blake2b(
             matrix.tobytes() + repr(matrix.shape).encode(), digest_size=16
         ).hexdigest()
@@ -416,16 +476,24 @@ class ShardedFaultSimulator:
         stuck_values = [1 if f.stuck_value else 0 for f in faults]
         first: List[Optional[int]] = [None] * n_faults
         stats["mode"] = mode
+        stats["fault_mode"] = "words" if use_words else "lanes"
 
         base_task = {
             "program_key": program_key,
             "program_blob": program_blob,
             "patterns_key": patterns_key,
-            "input_lanes": input_lanes,
+            "fault_mode": stats["fault_mode"],
             "n_patterns": n_patterns,
-            "block_patterns": self.block_patterns,
+            "block_patterns": block_patterns,
             "drop_detected": drop_detected,
         }
+        # Ship the packed inputs in whichever representation the workers will
+        # grade on; every chunk of one run reuses a single cached good
+        # machine per worker either way.
+        if use_words:
+            base_task["input_words"] = pack_patterns(matrix)
+        else:
+            base_task["input_lanes"] = pack_lanes(matrix)
 
         def submit(chunk: Tuple[int, int]):
             if mode == "fault-chunks":
@@ -501,14 +569,31 @@ class ShardedFaultSimulator:
         early = _validate_run(patterns, self.program.n_inputs, faults)
         if early is not None:
             return early
-        plan = self._chunk_plan(jobs, len(faults), len(patterns)) if jobs > 1 else None
+        faults = _unique_faults(faults)
+        n_patterns = len(patterns)
+        use_words = fault_mode_uses_words(self.mode, n_patterns)
+        block_patterns = self._block_patterns_for(use_words)
+        plan = (
+            self._chunk_plan(jobs, len(faults), n_patterns, block_patterns)
+            if jobs > 1
+            else None
+        )
         pool = worker_pool(jobs) if plan is not None else None
         if pool is None:
             return self._run_inline(patterns, faults, drop_detected, stats)
         mode, chunks = plan
         try:
             return self._run_sharded(
-                pool, mode, chunks, jobs, patterns, faults, drop_detected, stats
+                pool,
+                mode,
+                chunks,
+                jobs,
+                patterns,
+                faults,
+                drop_detected,
+                stats,
+                use_words,
+                block_patterns,
             )
         except Exception:
             # A broken pool (dead workers, import failures, timeouts) must

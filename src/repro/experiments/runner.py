@@ -37,7 +37,13 @@ from repro.engine.backend import (
     get_backend,
     set_default_backend,
 )
-from repro.engine.sharded import _CHUNK_TIMEOUT, set_default_jobs, worker_pool
+from repro.engine.sharded import (
+    _CHUNK_TIMEOUT,
+    JOBS_ENV_VAR,
+    parse_jobs,
+    set_default_jobs,
+    worker_pool,
+)
 from repro.experiments import figure1, figure2, table1, table2, table3, table4, table5, table6
 from repro.experiments.report import TableResult, render_table
 from repro.experiments.workloads import default_workload_names
@@ -190,6 +196,14 @@ def run_all(
     return {artifact: _collect(artifact, names, seed) for artifact in selected}
 
 
+def _jobs_argument(text: str) -> int:
+    """argparse type for ``--jobs``: a clear CLI error instead of a traceback."""
+    try:
+        return parse_jobs(text, source="--jobs")
+    except ValueError as err:
+        raise argparse.ArgumentTypeError(err.args[0]) from None
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the command-line parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -216,7 +230,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--jobs",
-        type=int,
+        type=_jobs_argument,
         default=None,
         help="worker processes for independent (artifact x benchmark) cells "
         "and the sharded backend (default: REPRO_JOBS or 1; report text is "
@@ -231,15 +245,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     artifacts = [a.strip() for a in args.artifacts.split(",") if a.strip()]
     names = [n.strip() for n in args.benchmarks.split(",") if n.strip()] or None
     if args.jobs is not None:
-        jobs = max(1, args.jobs)
+        jobs = args.jobs  # already validated by the argparse type
     else:
+        env = os.environ.get(JOBS_ENV_VAR, "").strip()
         try:
-            jobs = max(1, int(os.environ.get("REPRO_JOBS", "") or 1))
-        except ValueError:
-            print(
-                "dpfill-experiments: error: REPRO_JOBS must be an integer",
-                file=sys.stderr,
-            )
+            jobs = parse_jobs(env, source=JOBS_ENV_VAR) if env else 1
+        except ValueError as err:
+            print(f"dpfill-experiments: error: {err.args[0]}", file=sys.stderr)
             return 2
     previous_backend = set_default_backend(args.backend) if args.backend else None
     try:

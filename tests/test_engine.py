@@ -22,19 +22,29 @@ from repro.circuit.simulator import LogicSimulator
 from repro.cubes.cube import TestSet
 from repro.engine import (
     DROP_BLOCK_PATTERNS,
+    FAULT_MODE_ENV_VAR,
+    LANE_MODE_MAX_PATTERNS,
     NaiveFaultSimulator,
     PackedFaultSimulator,
     PackedLogicSimulator,
+    ShardedFaultSimulator,
     SimulationBackend,
     available_backends,
     compile_circuit,
     default_backend_name,
     get_backend,
     register_backend,
+    resolve_fault_mode,
     set_default_backend,
 )
 from repro.engine.backend import BACKEND_ENV_VAR, _REGISTRY
-from repro.engine.packed import pack_patterns, unpack_values
+from repro.engine.packed import (
+    WORD_BITS,
+    evaluate_words,
+    pack_patterns,
+    tail_mask,
+    unpack_values,
+)
 from repro.power.estimator import PowerEstimator
 
 def all_gate_types_circuit():
@@ -187,6 +197,170 @@ class TestLogicParity:
         assert all(arr.shape == (0,) for arr in values.values())
 
 
+class TestTailMasking:
+    """No word-table consumer may ever read the garbage tail of a last word."""
+
+    def test_tail_mask_values(self):
+        assert int(tail_mask(1)) == 1
+        assert int(tail_mask(63)) == (1 << 63) - 1
+        assert int(tail_mask(64)) == (1 << 64) - 1
+        assert int(tail_mask(65)) == 1
+        assert int(tail_mask(130)) == 3
+
+    @pytest.mark.parametrize("n_patterns", [1, 63, 65, 130])
+    def test_evaluate_words_zeroes_tail_bits(self, n_patterns):
+        # all_gate_types_circuit is full of inverting ops, which complement
+        # all 64 bits of a word — exactly the producers of tail garbage.
+        circuit = all_gate_types_circuit()
+        matrix = _random_patterns(circuit, n_patterns, seed=3).astype(bool)
+        table = evaluate_words(compile_circuit(circuit), pack_patterns(matrix), n_patterns)
+        beyond = ~np.uint64(tail_mask(n_patterns))
+        assert not np.any(table[:, -1] & beyond)
+
+    def test_unpack_values_masks_unsanitised_tables(self):
+        # Even a table that somehow kept its garbage unpacks clean.
+        dirty = np.full((3, 2), np.uint64(0xFFFFFFFFFFFFFFFF), dtype=np.uint64)
+        values = unpack_values(dirty, 70)
+        assert values.shape == (3, 70)
+        assert values.all()
+        assert np.array_equal(dirty, np.full((3, 2), np.uint64(0xFFFFFFFFFFFFFFFF)))
+
+
+class TestFaultModes:
+    """Lane- and word-mode grading must be bit-identical on every backend.
+
+    Pattern counts cover the word-boundary edges (1, 63, 64, 65) and a
+    multi-word count past the auto-mode crossover (4097), where tail-bit
+    handling and the words path actually engage.
+    """
+
+    #: Small circuits keep the 4097-pattern naive reference affordable.
+    MODE_CIRCUITS = [
+        pytest.param(lambda: c17(), id="c17"),
+        pytest.param(
+            lambda: generate_circuit(CircuitSpec("rand_small", 6, 4, 60, seed=11)),
+            id="rand_small",
+        ),
+    ]
+
+    @pytest.mark.parametrize("make_circuit", MODE_CIRCUITS)
+    @pytest.mark.parametrize("n_patterns", [1, 63, 64, 65, 4097])
+    def test_all_backends_and_modes_bit_identical(self, make_circuit, n_patterns):
+        circuit = make_circuit()
+        patterns = TestSet.from_matrix(
+            _random_patterns(circuit, n_patterns, seed=n_patterns)
+        )
+        faults = full_fault_list(circuit)
+        reference = NaiveFaultSimulator(circuit).run(patterns, faults)
+        results = {}
+        for mode in ("lanes", "words"):
+            results[f"packed-{mode}"] = PackedFaultSimulator(circuit, mode=mode).run(
+                patterns, faults
+            )
+            results[f"sharded-{mode}"] = ShardedFaultSimulator(
+                circuit, jobs=2, min_chunk_faults=2, chunks_per_worker=2, mode=mode
+            ).run(patterns, faults)
+        for key, result in results.items():
+            assert (
+                list(result.detected.items()) == list(reference.detected.items())
+            ), (key, n_patterns)
+            assert result.undetected == reference.undetected, (key, n_patterns)
+
+    def test_auto_mode_switches_at_lane_threshold(self):
+        circuit = c17()
+        simulator = PackedFaultSimulator(circuit, mode="auto")
+        faults = full_fault_list(circuit)
+        narrow = TestSet.from_matrix(_random_patterns(circuit, 70, seed=0))
+        simulator.run(narrow, faults)
+        assert simulator.last_run_stats["fault_mode"] == "lanes"
+        wide = TestSet.from_matrix(
+            _random_patterns(circuit, LANE_MODE_MAX_PATTERNS + 1, seed=0)
+        )
+        simulator.run(wide, faults)
+        assert simulator.last_run_stats["fault_mode"] == "words"
+
+    def test_words_mode_drops_across_blocks(self):
+        # Word-mode dropping must skip cone work, like the lanes path does.
+        circuit = generate_circuit(CircuitSpec("word_drop", 8, 6, 120, seed=1))
+        patterns = TestSet.from_matrix(_random_patterns(circuit, 300, seed=1))
+        faults = full_fault_list(circuit)
+        simulator = PackedFaultSimulator(circuit, mode="words", block_patterns=64)
+        result = simulator.run(patterns, faults, drop_detected=True)
+        stats = dict(simulator.last_run_stats)
+        assert stats["blocks"] > 1
+        assert stats["dropped_block_evaluations"] > 0
+        reference = PackedFaultSimulator(circuit, mode="lanes").run(patterns, faults)
+        assert list(result.detected.items()) == list(reference.detected.items())
+
+    def test_env_var_forces_mode(self, monkeypatch):
+        monkeypatch.setenv(FAULT_MODE_ENV_VAR, "words")
+        simulator = PackedFaultSimulator(c17())
+        assert simulator.mode == "words"
+        patterns = TestSet.from_matrix(_random_patterns(c17(), 8, seed=0))
+        simulator.run(patterns, full_fault_list(c17())[:2])
+        assert simulator.last_run_stats["fault_mode"] == "words"
+
+    def test_explicit_mode_beats_env(self, monkeypatch):
+        monkeypatch.setenv(FAULT_MODE_ENV_VAR, "words")
+        assert PackedFaultSimulator(c17(), mode="lanes").mode == "lanes"
+
+    def test_unknown_mode_rejected(self, monkeypatch):
+        with pytest.raises(ValueError, match="unknown fault mode"):
+            PackedFaultSimulator(c17(), mode="simd")
+        with pytest.raises(ValueError, match="unknown fault mode"):
+            ShardedFaultSimulator(c17(), mode="simd")
+        monkeypatch.setenv(FAULT_MODE_ENV_VAR, "turbo")
+        with pytest.raises(ValueError, match="unknown fault mode"):
+            resolve_fault_mode()
+
+
+class TestDuplicateFaults:
+    """Duplicate faults must collapse to one entry, not skew coverage."""
+
+    @pytest.mark.parametrize("mode", ["lanes", "words"])
+    def test_duplicates_counted_once(self, mode):
+        circuit = c17()
+        patterns = TestSet.from_matrix(_random_patterns(circuit, 40, seed=5))
+        base = full_fault_list(circuit)
+        duplicated = base + base[:5] + [base[0]]
+        for simulator in (
+            NaiveFaultSimulator(circuit),
+            PackedFaultSimulator(circuit, mode=mode),
+            ShardedFaultSimulator(circuit, jobs=2, min_chunk_faults=2, mode=mode),
+        ):
+            res_dup = simulator.run(patterns, duplicated)
+            res_base = simulator.run(patterns, base)
+            assert list(res_dup.detected.items()) == list(res_base.detected.items())
+            assert res_dup.undetected == res_base.undetected
+            assert res_dup.coverage == res_base.coverage
+
+    def test_undetectable_duplicates_do_not_double_count(self):
+        circuit = c17()
+        patterns = TestSet.from_matrix(_random_patterns(circuit, 8, seed=0))
+        ghost = StuckAtFault("no_such_net", 0)
+        detected = full_fault_list(circuit)[0]
+        result = PackedFaultSimulator(circuit).run(patterns, [ghost, ghost, detected])
+        assert result.undetected == [ghost]
+        total = result.detected_count + len(result.undetected)
+        assert total == 2 and result.coverage == result.detected_count / 2
+
+    def test_empty_pattern_set_dedupes(self):
+        circuit = c17()
+        fault = full_fault_list(circuit)[0]
+        result = PackedFaultSimulator(circuit).run(TestSet([]), [fault, fault])
+        assert result.undetected == [fault]
+
+    def test_duplicates_cost_no_grading_work(self):
+        circuit = c17()
+        patterns = TestSet.from_matrix(_random_patterns(circuit, 40, seed=5))
+        base = full_fault_list(circuit)
+        simulator = PackedFaultSimulator(circuit)
+        simulator.run(patterns, base)
+        base_evaluations = simulator.last_run_stats["cone_evaluations"]
+        simulator.run(patterns, base + base)
+        assert simulator.last_run_stats["cone_evaluations"] == base_evaluations
+
+
 class TestFaultParity:
     @pytest.mark.parametrize("make_circuit", CIRCUITS)
     @pytest.mark.parametrize("n_patterns", [1, 63, 65, 130])
@@ -255,7 +429,9 @@ class TestFaultDropping:
     @pytest.mark.parametrize("simulator_cls", [NaiveFaultSimulator, PackedFaultSimulator])
     def test_dropping_skips_cone_evaluations(self, simulator_cls):
         circuit, patterns, faults = self._setup()
-        simulator = simulator_cls(circuit)
+        # Pin the block size: the packed words mode defaults to much wider
+        # blocks, which would fit this whole pattern set into one.
+        simulator = simulator_cls(circuit, block_patterns=DROP_BLOCK_PATTERNS)
         with_drop = simulator.run(patterns, faults, drop_detected=True)
         stats_drop = dict(simulator.last_run_stats)
         without_drop = simulator.run(patterns, faults, drop_detected=False)

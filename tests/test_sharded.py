@@ -34,6 +34,7 @@ from repro.engine import (
 from repro.engine.sharded import (
     JOBS_ENV_VAR,
     default_jobs,
+    parse_jobs,
     resolve_jobs,
     set_default_jobs,
     worker_pool,
@@ -76,18 +77,32 @@ CIRCUITS = [
 
 class TestShardedParity:
     @pytest.mark.parametrize("make_circuit", CIRCUITS)
-    @pytest.mark.parametrize("n_patterns", [1, 63, 65, 130])
+    @pytest.mark.parametrize("n_patterns", [1, 63, 64, 65, 130])
     @pytest.mark.parametrize("drop", [True, False])
-    def test_detection_map_parity(self, make_circuit, n_patterns, drop):
+    @pytest.mark.parametrize("fault_mode", ["lanes", "words"])
+    def test_detection_map_parity(self, make_circuit, n_patterns, drop, fault_mode):
         circuit = make_circuit()
         patterns = TestSet.from_matrix(_random_patterns(circuit, n_patterns, seed=9))
         faults = full_fault_list(circuit)
         naive = NaiveFaultSimulator(circuit).run(patterns, faults, drop_detected=drop)
-        sharded = _pooled_simulator(circuit).run(patterns, faults, drop_detected=drop)
+        sharded = _pooled_simulator(circuit, mode=fault_mode).run(
+            patterns, faults, drop_detected=drop
+        )
         # Bit-for-bit: same faults, same first-detecting indices, same order.
         assert list(naive.detected.items()) == list(sharded.detected.items())
         assert naive.undetected == sharded.undetected
         assert naive.coverage == sharded.coverage
+
+    def test_wide_pattern_set_grades_on_words_in_auto_mode(self):
+        circuit = c17()
+        patterns = TestSet.from_matrix(_random_patterns(circuit, 4160, seed=3))
+        faults = full_fault_list(circuit)
+        simulator = _pooled_simulator(circuit, mode="auto")
+        result = simulator.run(patterns, faults)
+        assert simulator.last_run_stats["fault_mode"] == "words"
+        reference = PackedFaultSimulator(circuit, mode="lanes").run(patterns, faults)
+        assert list(result.detected.items()) == list(reference.detected.items())
+        assert result.undetected == reference.undetected
 
     def test_fault_chunk_mode_actually_shards(self):
         circuit = generate_circuit(CircuitSpec("chunky", 8, 6, 200, seed=21))
@@ -155,6 +170,26 @@ class TestShardBoundaryDropping:
         assert list(result.detected.items()) == list(packed.detected.items())
         assert result.detected[faults[0]] == 0
 
+    def test_pattern_shards_broadcast_in_words_mode(self):
+        circuit = _and_circuit()
+        matrix = _random_patterns(circuit, 1024, seed=3)
+        matrix[0] = [1, 1]  # pattern 0 detects out/s-a-0
+        patterns = TestSet.from_matrix(matrix)
+        faults = [StuckAtFault("out", 0)]
+        simulator = ShardedFaultSimulator(
+            circuit, jobs=2, block_patterns=64, chunks_per_worker=8, mode="words"
+        )
+        result = simulator.run(patterns, faults)
+        stats = simulator.last_run_stats
+        if stats["mode"] == "inline":
+            pytest.skip("worker pool unavailable in this environment")
+        assert stats["mode"] == "pattern-shards"
+        assert stats["fault_mode"] == "words"
+        assert stats["shard_dropped_evaluations"] > 0
+        packed = PackedFaultSimulator(circuit, mode="lanes").run(patterns, faults)
+        assert list(result.detected.items()) == list(packed.detected.items())
+        assert result.detected[faults[0]] == 0
+
     def test_pattern_shards_without_dropping_keep_parity(self):
         circuit = _and_circuit()
         patterns = TestSet.from_matrix(_random_patterns(circuit, 256, seed=4))
@@ -182,6 +217,17 @@ class TestFallbacks:
         result = simulator.run(patterns, faults)
         assert simulator.last_run_stats["mode"] == "inline"
         packed = PackedFaultSimulator(circuit).run(patterns, faults)
+        assert list(result.detected.items()) == list(packed.detected.items())
+
+    def test_inline_fallback_respects_words_mode(self):
+        circuit = c17()
+        patterns = TestSet.from_matrix(_random_patterns(circuit, 65, seed=1))
+        faults = full_fault_list(circuit)
+        simulator = ShardedFaultSimulator(circuit, jobs=1, mode="words")
+        result = simulator.run(patterns, faults)
+        assert simulator.last_run_stats["mode"] == "inline"
+        assert simulator.last_run_stats["fault_mode"] == "words"
+        packed = PackedFaultSimulator(circuit, mode="lanes").run(patterns, faults)
         assert list(result.detected.items()) == list(packed.detected.items())
 
     def test_small_workloads_stay_inline_despite_jobs(self):
@@ -231,9 +277,24 @@ class TestJobsResolution:
         with pytest.raises(ValueError, match="REPRO_JOBS"):
             default_jobs()
 
-    def test_floor_of_one(self):
-        assert resolve_jobs(0) == 1
-        assert resolve_jobs(-3) == 1
+    def test_non_positive_env_var_rejected(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "-2")
+        with pytest.raises(ValueError, match="REPRO_JOBS must be a positive integer"):
+            default_jobs()
+
+    def test_non_positive_jobs_rejected(self):
+        # A zero/negative worker count is a typo, not a request for serial
+        # mode; it must fail loudly at the parsing surface.
+        for bad in (0, -3, "nope", 2.5):
+            with pytest.raises(ValueError, match="positive integer"):
+                resolve_jobs(bad)
+        with pytest.raises(ValueError, match="positive integer"):
+            set_default_jobs(-1)
+
+    def test_parse_jobs_accepts_integral_strings(self):
+        assert parse_jobs("4") == 4
+        assert parse_jobs(" 2 ") == 2
+        assert parse_jobs(3) == 3
 
 
 class TestBackendRegistration:
@@ -276,3 +337,18 @@ class TestRunnerJobs:
         args = build_parser().parse_args(["--jobs", "4"])
         assert args.jobs == 4
         assert build_parser().parse_args([]).jobs is None
+
+    @pytest.mark.parametrize("bad", ["many", "-2", "0", "2.5"])
+    def test_bad_jobs_flag_rejected_at_cli(self, bad, capsys):
+        from repro.experiments.runner import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--jobs", bad])
+        assert "--jobs must be a positive integer" in capsys.readouterr().err
+
+    def test_bad_jobs_env_rejected_before_running(self, monkeypatch, capsys):
+        from repro.experiments.runner import main
+
+        monkeypatch.setenv(JOBS_ENV_VAR, "-3")
+        assert main(["--artifacts", "1", "--benchmarks", "b01"]) == 2
+        assert "REPRO_JOBS must be a positive integer" in capsys.readouterr().err
