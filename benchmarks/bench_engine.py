@@ -46,6 +46,8 @@ import numpy as np
 import pytest
 
 from repro.atpg.collapse import collapse_faults
+from repro.atpg.podem import PodemEngine
+from repro.atpg.tpg import generate_test_cubes
 from repro.core.dpfill import dp_fill
 from repro.cubes.cube import TestSet
 from repro.engine.backend import get_backend
@@ -67,6 +69,16 @@ FAULT_MODE_GATE_SPEEDUP = 1.5
 #: Workers the standalone sharded benchmark runs with (the acceptance gate
 #: is defined at 4 workers); override with REPRO_JOBS.
 BENCH_JOBS = 4
+
+#: ATPG sweep knobs: faults per profile (stratified sample of the collapsed
+#: list — the dict reference needs tens of seconds per hundred faults on the
+#: largest profile, which is the point of the sweep) and the PODEM backtrack
+#: limit (the workload builder's value).
+ATPG_BENCH_FAULTS = 32
+ATPG_BENCH_BACKTRACKS = 15
+#: Compiled ternary PODEM must beat the dict reference by this factor on the
+#: largest profile (the ATPG acceptance gate).
+ATPG_GATE_SPEEDUP = 3.0
 
 #: Mirrors ``conftest.bench_names`` (kept local so ``python
 #: benchmarks/bench_engine.py`` works without pytest's conftest loading).
@@ -129,6 +141,28 @@ def test_bench_fault_mode(benchmark, n_patterns, fault_mode):
     assert result.n_patterns == n_patterns
 
 
+def _sampled_faults(circuit, cap: int = ATPG_BENCH_FAULTS):
+    faults = collapse_faults(circuit)
+    if len(faults) <= cap:
+        return faults
+    stride = len(faults) / cap
+    return [faults[int(i * stride)] for i in range(cap)]
+
+
+@pytest.mark.parametrize("atpg_mode", ["dict", "compiled"])
+@pytest.mark.parametrize("name", ["b01", "b08"])
+def test_bench_podem(benchmark, name, atpg_mode):
+    # Only the small profiles: the dict reference needs tens of seconds per
+    # round on the larger ones (the standalone sweep covers those once).
+    workload = build_workload(name)
+    faults = _sampled_faults(workload.circuit)
+    engine = PodemEngine(
+        workload.circuit, backtrack_limit=ATPG_BENCH_BACKTRACKS, mode=atpg_mode
+    )
+    results = benchmark(lambda: [engine.generate(fault) for fault in faults])
+    assert len(results) == len(faults)
+
+
 @pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("name", bench_names())
 def test_bench_power_estimation(benchmark, name, backend):
@@ -174,9 +208,11 @@ def _available_cores() -> int:
         return os.cpu_count() or 1
 
 
-def _write_json(rows: List[dict], jobs: int, largest: dict, fault_modes: dict) -> None:
+def _write_json(
+    rows: List[dict], jobs: int, largest: dict, fault_modes: dict, atpg: dict
+) -> None:
     payload = {
-        "schema": 2,
+        "schema": 3,
         "git_sha": _git_sha(),
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "python": sys.version.split()[0],
@@ -187,6 +223,7 @@ def _write_json(rows: List[dict], jobs: int, largest: dict, fault_modes: dict) -
         "profiles": rows,
         "largest": largest,
         "fault_modes": fault_modes,
+        "atpg": atpg,
     }
     BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"\nwrote {BENCH_JSON.resolve()}")
@@ -263,6 +300,109 @@ def _fault_mode_sweep() -> dict:
         "auto_threshold_patterns": LANE_MODE_MAX_PATTERNS,
         "gate_patterns": gate_row["patterns"],
         "words_gate_speedup": gate_row["words_speedup"],
+    }
+
+
+def _atpg_sweep(jobs: int) -> dict:
+    """Time dict vs compiled PODEM per profile; sharded generation on the largest.
+
+    Parity — statuses, cubes, decision/backtrack counters — is asserted
+    before any timing is reported, and the sharded cube-generation run must
+    be byte-identical to the serial one.  Returns the machine-readable
+    section for ``BENCH_engine.json``.
+    """
+    names = bench_names()
+    print("\nPODEM test generation (dict reference vs compiled ternary engine):")
+    header = (
+        f"{'circuit':>8} {'gates':>6} {'faults':>6} "
+        f"{'dict (ms)':>10} {'compiled (ms)':>14} {'speedup':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+    rows: List[dict] = []
+    for name in names:
+        workload = build_workload(name)
+        circuit = workload.circuit
+        faults = _sampled_faults(circuit)
+        dict_engine = PodemEngine(
+            circuit, backtrack_limit=ATPG_BENCH_BACKTRACKS, mode="dict"
+        )
+        compiled_engine = PodemEngine(
+            circuit, backtrack_limit=ATPG_BENCH_BACKTRACKS, mode="compiled"
+        )
+        reference = [dict_engine.generate(fault) for fault in faults]
+        candidate = [compiled_engine.generate(fault) for fault in faults]
+        for ref, res in zip(reference, candidate):
+            assert ref.status == res.status, (name, ref.fault)
+            assert ref.backtracks == res.backtracks, (name, ref.fault)
+            assert ref.decisions == res.decisions, (name, ref.fault)
+            if ref.detected:
+                assert np.array_equal(
+                    np.asarray(ref.cube.bits), np.asarray(res.cube.bits)
+                ), (name, ref.fault)
+        t_dict, _ = _time_best(
+            lambda: lambda: [dict_engine.generate(fault) for fault in faults],
+            repeats=2,
+        )
+        t_compiled, _ = _time_best(
+            lambda: lambda: [compiled_engine.generate(fault) for fault in faults],
+            repeats=2,
+        )
+        speedup = t_dict / t_compiled
+        rows.append(
+            {
+                "circuit": name,
+                "gates": circuit.n_gates,
+                "faults": len(faults),
+                "seconds": {"dict": t_dict, "compiled": t_compiled},
+                "compiled_speedup": speedup,
+            }
+        )
+        print(
+            f"{name:>8} {circuit.n_gates:>6} {len(faults):>6} "
+            f"{t_dict * 1000:>10.1f} {t_compiled * 1000:>14.1f} {speedup:>7.1f}x"
+        )
+    largest_row = max(rows, key=lambda row: row["gates"])
+    print(
+        f"largest profile ({largest_row['circuit']}): compiled "
+        f"{largest_row['compiled_speedup']:.1f}x vs dict "
+        f"(gate: >= {ATPG_GATE_SPEEDUP:.0f}x)"
+    )
+
+    # Sharded generation: the full driver (PODEM + dropping) serial vs pooled.
+    circuit = build_workload(largest_row["circuit"]).circuit
+    atpg_kwargs = dict(
+        max_faults=96, backtrack_limit=ATPG_BENCH_BACKTRACKS, seed=0
+    )
+    t_serial, serial = _time_best(
+        lambda: lambda: generate_test_cubes(circuit, jobs=1, **atpg_kwargs), repeats=2
+    )
+    t_sharded, sharded = _time_best(
+        lambda: lambda: generate_test_cubes(circuit, jobs=jobs, **atpg_kwargs), repeats=2
+    )
+    assert np.array_equal(serial.cubes.matrix, sharded.cubes.matrix)
+    assert serial.cubes.names == sharded.cubes.names
+    assert list(serial.detected_faults.items()) == list(sharded.detected_faults.items())
+    assert serial.untestable_faults == sharded.untestable_faults
+    assert serial.aborted_faults == sharded.aborted_faults
+    sharded_speedup = t_serial / t_sharded
+    print(
+        f"sharded generation on {largest_row['circuit']}: serial {t_serial * 1000:.0f}ms, "
+        f"{jobs} workers {t_sharded * 1000:.0f}ms ({sharded_speedup:.1f}x, byte-identical)"
+    )
+    return {
+        "backtrack_limit": ATPG_BENCH_BACKTRACKS,
+        "profiles": rows,
+        "largest": {
+            "circuit": largest_row["circuit"],
+            "compiled_speedup": largest_row["compiled_speedup"],
+        },
+        "sharded_generation": {
+            "circuit": largest_row["circuit"],
+            "jobs": jobs,
+            "seconds": {"serial": t_serial, "sharded": t_sharded},
+            "speedup": sharded_speedup,
+        },
     }
 
 
@@ -356,7 +496,8 @@ def _main(jobs: int) -> int:
         f"sharded {sharded_speedup:.1f}x vs packed ({jobs} workers, {cores} cores available)"
     )
     fault_modes = _fault_mode_sweep()
-    _write_json(rows, jobs, largest, fault_modes)
+    atpg = _atpg_sweep(jobs)
+    _write_json(rows, jobs, largest, fault_modes, atpg)
 
     code = 0
     if packed_speedup < 5.0:
@@ -376,6 +517,12 @@ def _main(jobs: int) -> int:
             f"WARNING: words fault mode below the {FAULT_MODE_GATE_SPEEDUP}x "
             f"acceptance threshold on every >= {LANE_MODE_MAX_PATTERNS}-pattern "
             "profile"
+        )
+        code = 1
+    if atpg["largest"]["compiled_speedup"] < ATPG_GATE_SPEEDUP:
+        print(
+            f"WARNING: compiled PODEM below the {ATPG_GATE_SPEEDUP:.0f}x "
+            "acceptance threshold vs the dict reference on the largest profile"
         )
         code = 1
     return code

@@ -7,24 +7,39 @@ consequences by three-valued simulation of a good and a faulty machine, and
 backtracks on conflicts.  Unassigned pins stay X, which is what produces the
 don't-care-rich cubes the DP-fill paper exploits.
 
-The implementation favours clarity over raw speed: each implication step
-re-simulates the combinational logic in topological order, so generation cost
-is ``O(decisions x gates)`` per fault.  For the circuit sizes the default
-experiments use (up to a few thousand gates) this is entirely workable; the
-largest ITC'99 profiles fall back to the calibrated synthetic cube generator
-as documented in DESIGN.md.
+Two implication implementations share the search algorithm:
+
+* :class:`DictPodemEngine` — the original clarity-first reference: each
+  implication step re-simulates the whole combinational circuit in
+  topological order through per-net dictionaries and scalar
+  ``evaluate_ternary`` calls (``O(decisions x gates)`` per fault).  It stays
+  registered as the parity oracle of the compiled engine.
+* :class:`~repro.engine.ternary.CompiledTernaryPodem` — incremental
+  two-plane ternary implication over the compiled array program: each
+  decision re-evaluates only the changed pin's fanout cone.  Bit-identical
+  cubes, classification and decision/backtrack counters, several times
+  faster (see ``BENCH_engine.json``).
+
+:class:`PodemEngine` is the facade everything else uses; it resolves the
+implementation through the simulation-backend registry (the ``naive``
+backend prefers the dict reference, every compiled backend the ternary
+engine) and the ``REPRO_ATPG_MODE`` environment variable forces either one
+process-wide.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.atpg.faults import StuckAtFault
 from repro.circuit.gates import GateType, controlling_value, evaluate_ternary, inversion_parity
 from repro.circuit.netlist import Circuit
 from repro.cubes.bits import ONE, X, ZERO
 from repro.cubes.cube import TestCube
+from repro.engine.backend import SimulationBackend, get_backend
+from repro.engine.compile import compile_circuit
+from repro.engine.ternary import CompiledTernaryPodem, RawPodemResult, resolve_atpg_mode
 
 
 @dataclass
@@ -54,8 +69,8 @@ class PodemResult:
         return self.status == "detected"
 
 
-class PodemEngine:
-    """Reusable PODEM engine for one circuit.
+class DictPodemEngine:
+    """Reference PODEM engine: full dict-walking re-implication per decision.
 
     Args:
         circuit: circuit under test (full-scan combinational view).
@@ -251,3 +266,59 @@ class PodemEngine:
     def _cube_from_assignment(self, assignment: Dict[str, int], fault: StuckAtFault) -> TestCube:
         bits = [assignment.get(pin, X) for pin in self._pins]
         return TestCube(bits, name=fault.name)
+
+
+class PodemEngine:
+    """Reusable PODEM engine for one circuit (implementation facade).
+
+    The implication implementation is resolved like the simulation backends:
+    an explicit ``mode`` wins, then the ``REPRO_ATPG_MODE`` environment
+    variable, then the resolved backend's preference (``naive`` keeps the
+    dict reference, the compiled backends use the ternary array engine).
+    Either way the results — cubes, classification, counters — are
+    bit-identical; only the speed differs.
+
+    Args:
+        circuit: circuit under test (full-scan combinational view).
+        backtrack_limit: abort threshold per fault.
+        backend: backend name or instance (registry default when omitted).
+        mode: ``"auto"`` / ``"dict"`` / ``"compiled"``; ``None`` resolves
+            through :func:`~repro.engine.ternary.resolve_atpg_mode`.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        backtrack_limit: int = 100,
+        backend: Union[str, SimulationBackend, None] = None,
+        mode: Optional[str] = None,
+    ) -> None:
+        self.circuit = circuit
+        self.backtrack_limit = backtrack_limit
+        self.backend = get_backend(backend)
+        resolved = resolve_atpg_mode(mode)
+        if resolved == "auto":
+            resolved = getattr(self.backend, "atpg_mode", "compiled")
+        self.implementation = resolved
+        if resolved == "compiled":
+            compiled_program = getattr(self.backend, "compiled_program", None)
+            self.program = (
+                compiled_program(circuit) if compiled_program else compile_circuit(circuit)
+            )
+            self._impl = CompiledTernaryPodem(self.program, backtrack_limit=backtrack_limit)
+        else:
+            self.program = None
+            self._impl = DictPodemEngine(circuit, backtrack_limit=backtrack_limit)
+
+    def generate(self, fault: StuckAtFault) -> PodemResult:
+        """Search for a test cube detecting ``fault``."""
+        if self.implementation == "dict":
+            return self._impl.generate(fault)
+        site_row = self.program.net_index[fault.net]
+        return self.result_from_raw(fault, self._impl.run(site_row, fault.stuck_value))
+
+    def result_from_raw(self, fault: StuckAtFault, raw: RawPodemResult) -> PodemResult:
+        """Wrap a raw compiled-engine result (e.g. from a pool worker)."""
+        status, bits, backtracks, decisions = raw
+        cube = TestCube(list(bits), name=fault.name) if status == "detected" else None
+        return PodemResult(fault, status, cube, backtracks, decisions)

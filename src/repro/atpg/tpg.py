@@ -5,12 +5,21 @@ collapsed fault list in deterministic order, generates a cube per undetected
 fault, and fault-simulates a randomly filled copy of each new cube to drop
 every other fault it happens to detect.  The order in which cubes are emitted
 *is* the "tool ordering" used by Table II of the paper.
+
+Generation can fan out across the shared worker pool: the collapsed fault
+list is partitioned into chunks and each worker runs the compiled ternary
+PODEM engine on its shard (:class:`~repro.engine.sharded.ShardedPodemScheduler`),
+with detected-fault drops broadcast between chunk submissions.  Because
+per-fault PODEM runs are deterministic and the driver merges strictly in
+fault-list order — consuming the dropping RNG in that same order — the
+resulting :class:`ATPGResult` is bit-identical to a serial run for any
+``jobs`` value, including the inline fallback when no pool is available.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -21,6 +30,8 @@ from repro.atpg.podem import PodemEngine
 from repro.circuit.netlist import Circuit
 from repro.cubes.bits import BIT_DTYPE, X
 from repro.cubes.cube import TestCube, TestSet
+from repro.engine.backend import SimulationBackend
+from repro.engine.sharded import ShardedPodemScheduler, parse_jobs, resolve_jobs
 
 
 @dataclass
@@ -68,6 +79,45 @@ def _random_fill(cube: TestCube, rng: np.random.Generator) -> np.ndarray:
     return bits
 
 
+#: Fault lists below this size always generate inline: shipping the compiled
+#: program and paying per-chunk IPC cannot amortise over a handful of PODEM
+#: runs (the fault-sim analogue is ``ShardedFaultSimulator``'s chunk-plan
+#: minimums).  Results are identical either way — this only bounds overhead.
+MIN_SHARDED_PODEM_FAULTS = 32
+
+
+def _podem_scheduler(
+    engine: PodemEngine, faults: Sequence[StuckAtFault], jobs: Optional[int]
+) -> Optional[ShardedPodemScheduler]:
+    """Build a pool-backed PODEM scheduler, or ``None`` for serial generation.
+
+    Pooled generation engages for an explicit ``jobs`` > 1, or — mirroring
+    how fault simulation fans out — automatically when the resolved backend
+    is the sharded one.  It requires the compiled implication engine (the
+    workers run it); with the dict reference in effect generation stays
+    serial regardless of ``jobs``.
+    """
+    if engine.implementation != "compiled":
+        return None
+    if jobs is None:
+        if engine.backend.name != "sharded":
+            return None
+        jobs = resolve_jobs(None)
+    else:
+        jobs = parse_jobs(jobs)
+    if jobs <= 1 or len(faults) < MIN_SHARDED_PODEM_FAULTS:
+        return None
+    program = engine.program
+    scheduler = ShardedPodemScheduler(
+        program,
+        sites=[program.net_index[fault.net] for fault in faults],
+        stuck_values=[fault.stuck_value for fault in faults],
+        backtrack_limit=engine.backtrack_limit,
+        jobs=jobs,
+    )
+    return scheduler if scheduler.pooled else None
+
+
 def generate_test_cubes(
     circuit: Circuit,
     max_faults: Optional[int] = None,
@@ -75,6 +125,9 @@ def generate_test_cubes(
     backtrack_limit: int = 100,
     drop_with_fault_sim: bool = True,
     seed: int = 0,
+    jobs: Optional[int] = None,
+    backend: Union[str, SimulationBackend, None] = None,
+    atpg_mode: Optional[str] = None,
 ) -> ATPGResult:
     """Generate a stuck-at test-cube set for ``circuit``.
 
@@ -89,6 +142,15 @@ def generate_test_cubes(
             drop the other faults it detects (the standard ATPG flow).  When
             disabled every target fault gets its own cube.
         seed: seed for the random fill used during dropping.
+        jobs: worker processes for cube generation; ``None`` fans out only
+            under the sharded backend (resolving through ``REPRO_JOBS``),
+            ``1`` forces a serial run.  Results are bit-identical for every
+            value.
+        backend: simulation backend for PODEM and the dropping fault sim
+            (registry default when omitted).
+        atpg_mode: PODEM implication implementation (``"auto"`` / ``"dict"``
+            / ``"compiled"``); ``None`` resolves through ``REPRO_ATPG_MODE``
+            and the backend preference.
 
     Returns:
         An :class:`ATPGResult` whose ``cubes`` are in generation order.
@@ -98,8 +160,11 @@ def generate_test_cubes(
         stride = len(faults) / max_faults
         faults = [faults[int(i * stride)] for i in range(max_faults)]
 
-    engine = PodemEngine(circuit, backtrack_limit=backtrack_limit)
-    simulator = FaultSimulator(circuit) if drop_with_fault_sim else None
+    engine = PodemEngine(
+        circuit, backtrack_limit=backtrack_limit, backend=backend, mode=atpg_mode
+    )
+    simulator = FaultSimulator(circuit, backend=backend) if drop_with_fault_sim else None
+    scheduler = _podem_scheduler(engine, faults, jobs)
     rng = np.random.default_rng(seed)
 
     result = ATPGResult(
@@ -109,13 +174,17 @@ def generate_test_cubes(
     )
     cube_list: List[TestCube] = []
     remaining: Dict[StuckAtFault, None] = dict.fromkeys(faults)
+    index_of = {fault: index for index, fault in enumerate(faults)}
 
-    for fault in faults:
+    for index, fault in enumerate(faults):
         if fault not in remaining:
             continue
         if max_patterns is not None and len(cube_list) >= max_patterns:
             break
-        podem = engine.generate(fault)
+        if scheduler is not None:
+            podem = engine.result_from_raw(fault, scheduler.fetch(index))
+        else:
+            podem = engine.generate(fault)
         if podem.status == "untestable":
             result.untestable_faults.append(fault)
             remaining.pop(fault, None)
@@ -138,6 +207,8 @@ def generate_test_cubes(
             for dropped in sim.detected:
                 result.detected_faults[dropped] = cube_index
                 remaining.pop(dropped, None)
+                if scheduler is not None:
+                    scheduler.drop(index_of[dropped])
 
     result.cubes = TestSet(cube_list) if cube_list else TestSet([])
     return result

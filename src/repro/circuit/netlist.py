@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from hashlib import blake2b
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.circuit.gates import GateType
@@ -58,6 +59,7 @@ class Circuit:
         self._gates: Dict[str, Gate] = {}
         self._order_cache: Optional[List[str]] = None
         self._structure_token: Optional[object] = None
+        self._structure_digest: Optional[str] = None
 
     # -- construction -----------------------------------------------------
     def add_input(self, name: str) -> None:
@@ -69,6 +71,7 @@ class Circuit:
         self._inputs.append(name)
         self._order_cache = None
         self._structure_token = None
+        self._structure_digest = None
 
     def add_output(self, name: str) -> None:
         """Declare a primary output net (must be driven by a PI or a gate)."""
@@ -77,6 +80,7 @@ class Circuit:
         self._outputs.append(name)
         self._order_cache = None
         self._structure_token = None
+        self._structure_digest = None
 
     def add_gate(self, output: str, gate_type: GateType, inputs: Sequence[str]) -> Gate:
         """Add a gate driving net ``output``; returns the created gate."""
@@ -88,6 +92,7 @@ class Circuit:
         self._gates[output] = gate
         self._order_cache = None
         self._structure_token = None
+        self._structure_digest = None
         return gate
 
     # -- basic views ---------------------------------------------------------
@@ -237,6 +242,29 @@ class Circuit:
         if self._structure_token is None:
             self._structure_token = object()
         return self._structure_token
+
+    def structure_digest(self) -> str:
+        """Content hash of the netlist structure, stable across processes.
+
+        Unlike :meth:`structure_token` (an identity sentinel, valid only
+        within one process), the digest is computed from the declared
+        inputs/outputs and every gate's type and pin connections, so it can
+        key *persistent* derived data — the workload disk cache uses it so
+        an edited netlist can never be served another circuit's cubes.  The
+        circuit name is deliberately excluded: renaming a circuit does not
+        change what it computes.
+        """
+        if self._structure_digest is None:
+            digest = blake2b(digest_size=16)
+            digest.update("|".join(self._inputs).encode())
+            digest.update(b"\x1e")
+            digest.update("|".join(self._outputs).encode())
+            for name, gate in self._gates.items():
+                digest.update(
+                    f"\x1e{name}\x1f{gate.gate_type.name}\x1f{','.join(gate.inputs)}".encode()
+                )
+            self._structure_digest = digest.hexdigest()
+        return self._structure_digest
 
     def levelize(self) -> Dict[str, int]:
         """Logic depth of every net (sources at level 0)."""

@@ -40,10 +40,17 @@ from repro.engine.packed import (
     tail_mask,
     unpack_values,
 )
+from repro.engine.ternary import (
+    ATPG_MODE_ENV_VAR,
+    ATPG_MODES,
+    CompiledTernaryPodem,
+    resolve_atpg_mode,
+)
 from repro.engine.sharded import (
     JOBS_ENV_VAR,
     ShardedBackend,
     ShardedFaultSimulator,
+    ShardedPodemScheduler,
     default_jobs,
     parse_jobs,
     resolve_jobs,
@@ -53,6 +60,8 @@ from repro.engine.sharded import (
 )
 
 __all__ = [
+    "ATPG_MODE_ENV_VAR",
+    "ATPG_MODES",
     "BACKEND_ENV_VAR",
     "DEFAULT_BACKEND_NAME",
     "DROP_BLOCK_PATTERNS",
@@ -62,6 +71,7 @@ __all__ = [
     "LANE_MODE_MAX_PATTERNS",
     "WORD_DROP_BLOCK_PATTERNS",
     "CompiledCircuit",
+    "CompiledTernaryPodem",
     "FaultSimulationResult",
     "NaiveBackend",
     "NaiveFaultSimulator",
@@ -70,6 +80,7 @@ __all__ = [
     "PackedLogicSimulator",
     "ShardedBackend",
     "ShardedFaultSimulator",
+    "ShardedPodemScheduler",
     "SimulationBackend",
     "available_backends",
     "compile_circuit",
@@ -80,6 +91,7 @@ __all__ = [
     "pack_patterns",
     "parse_jobs",
     "register_backend",
+    "resolve_atpg_mode",
     "resolve_fault_mode",
     "resolve_jobs",
     "set_default_backend",

@@ -49,6 +49,12 @@ class SimulationBackend:
 
     name: str = "?"
 
+    #: PODEM implication implementation the backend prefers when
+    #: ``REPRO_ATPG_MODE`` is ``auto`` (see :mod:`repro.engine.ternary`):
+    #: every compiled backend uses the ternary array engine, the naive
+    #: backend keeps the dict reference as the oracle.
+    atpg_mode: str = "compiled"
+
     def logic_simulator(self, circuit: Circuit):
         """Build a logic simulator (``simulate``/``observe_outputs``/... surface)."""
         raise NotImplementedError
@@ -62,6 +68,7 @@ class NaiveBackend(SimulationBackend):
     """The original pure-NumPy, dict-per-net reference implementation."""
 
     name = "naive"
+    atpg_mode = "dict"
 
     def logic_simulator(self, circuit: Circuit) -> LogicSimulator:
         return LogicSimulator(circuit)

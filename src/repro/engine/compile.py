@@ -129,10 +129,15 @@ class CompiledCircuit:
     groups: List[LevelGroup]
     # Plain-python mirrors of the arrays above, used by the hot loops: the
     # lane evaluator iterates ``node_prog`` (scalar indexing of python lists
-    # beats numpy scalar indexing by ~10x), and the cone BFS walks
-    # ``reader_lists`` (row -> node positions reading that row).
+    # beats numpy scalar indexing by ~10x), the cone BFS walks
+    # ``reader_lists`` (row -> node positions reading that row), and the
+    # ternary PODEM engine uses ``node_levels`` (per-node logic level, for
+    # D-frontier ranking) and ``out_node`` (row -> driving node position,
+    # ``-1`` for test-pin rows, for objective backtracing).
     node_prog: List[Tuple[int, int, Tuple[int, ...]]] = field(default_factory=list)
     reader_lists: List[List[int]] = field(default_factory=list)
+    node_levels: List[int] = field(default_factory=list)
+    out_node: List[int] = field(default_factory=list)
     _observable_set: frozenset = frozenset()
     _cone_cache: Dict[int, Cone] = field(default_factory=dict)
 
@@ -238,6 +243,10 @@ def compile_circuit(circuit: Circuit) -> CompiledCircuit:
     output_rows = np.asarray(
         [net_index[net] for net in circuit.combinational_outputs], dtype=np.int32
     )
+    node_levels = [int(node_level[pos]) for pos in range(n_nodes)]
+    out_node = [-1] * len(net_names)
+    for pos in range(n_nodes):
+        out_node[int(node_out[pos])] = pos
 
     # Level/op/arity groups, in level order (ties broken deterministically).
     buckets: Dict[Tuple[int, int, int], List[int]] = {}
@@ -277,5 +286,7 @@ def compile_circuit(circuit: Circuit) -> CompiledCircuit:
         groups=groups,
         node_prog=node_prog,
         reader_lists=reader_lists,
+        node_levels=node_levels,
+        out_node=out_node,
         _observable_set=frozenset(int(r) for r in output_rows),
     )

@@ -78,6 +78,7 @@ from repro.engine.fault import (
     resolve_fault_mode,
 )
 from repro.engine.packed import evaluate_lanes, evaluate_words, pack_lanes, pack_patterns
+from repro.engine.ternary import CompiledTernaryPodem, RawPodemResult
 
 #: Environment variable sizing the worker pool (``--jobs`` on the runner).
 JOBS_ENV_VAR = "REPRO_JOBS"
@@ -323,6 +324,29 @@ def _worker_good_machine(
             good = evaluate_lanes(program, list(task["input_lanes"]), mask)
         _cache_put(_worker_good, cache_key, good)
     return good
+
+
+#: (program_key, backtrack_limit) -> reusable per-worker ternary PODEM engine.
+_worker_podem: "OrderedDict[Tuple[str, int], CompiledTernaryPodem]" = OrderedDict()
+
+
+def _podem_chunk(task: Dict[str, object]) -> List[RawPodemResult]:
+    """Pool task: run compiled PODEM on one chunk of fault sites.
+
+    The engine is cached per (program, backtrack limit); every ``run`` call
+    rebuilds its per-fault state from the cached all-X baseline, so results
+    are independent of how faults are chunked across workers.
+    """
+    program = _worker_program(task["program_key"], task["program_blob"])
+    key = (task["program_key"], task["backtrack_limit"])
+    engine = _worker_podem.get(key)
+    if engine is None:
+        engine = CompiledTernaryPodem(program, backtrack_limit=task["backtrack_limit"])
+        _cache_put(_worker_podem, key, engine)
+    return [
+        engine.run(site, stuck)
+        for site, stuck in zip(task["sites"], task["stuck_values"])
+    ]
 
 
 def _simulate_chunk(task: Dict[str, object]) -> Tuple[List[Optional[int]], Dict[str, int]]:
@@ -600,6 +624,140 @@ class ShardedFaultSimulator:
             # never cost correctness: drop it and redo the run in process.
             _discard_broken_pool()
             return self._run_inline(patterns, faults, drop_detected, stats)
+
+
+class ShardedPodemScheduler:
+    """Prefetches per-fault compiled-PODEM results from the worker pool.
+
+    The ATPG driver walks the collapsed fault list in order, dropping faults
+    that earlier cubes already detect; per-fault PODEM runs are independent
+    and deterministic, so they can be generated speculatively ahead of the
+    merge.  The scheduler ships fault chunks to the shared pool, *broadcasts*
+    drops between submissions (a chunk submitted after a fault was dropped
+    simply omits it — exactly like the fault-sim chunk tasks skip detected
+    faults), and hands results back strictly in fault-list order, so the
+    driver's output is bit-identical to a serial run for any worker count.
+
+    Whenever the pool cannot be used (``jobs=1``, nested workers, spawn
+    failure, a worker dying mid-run) the scheduler degrades to running the
+    same compiled engine inline, result for result.
+
+    Args:
+        program: compiled circuit shipped to workers (pickled once).
+        sites: fault-site row per fault, in fault-list order.
+        stuck_values: stuck value (0/1) per fault, aligned with ``sites``.
+        backtrack_limit: PODEM abort threshold (applied identically in every
+            worker and in the inline fallback).
+        jobs: worker count; ``None`` resolves through :func:`resolve_jobs`.
+        chunks_per_worker: chunk-sizing knob, as for fault simulation.
+    """
+
+    def __init__(
+        self,
+        program: CompiledCircuit,
+        sites: Sequence[int],
+        stuck_values: Sequence[int],
+        backtrack_limit: int,
+        jobs: Optional[int] = None,
+        chunks_per_worker: int = CHUNKS_PER_WORKER,
+    ) -> None:
+        self.program = program
+        self.sites = list(sites)
+        self.stuck_values = [1 if value else 0 for value in stuck_values]
+        self.backtrack_limit = int(backtrack_limit)
+        self.jobs = resolve_jobs(jobs)
+        self._engine: Optional[CompiledTernaryPodem] = None
+        self._buffer: Dict[int, RawPodemResult] = {}
+        self._dropped: set = set()
+        self._inflight: deque = deque()
+        self._pending: deque = deque()
+        self.stats: Dict[str, object] = {
+            "mode": "inline",
+            "jobs": self.jobs,
+            "chunks": 0,
+            "dropped_submissions": 0,
+        }
+        n_faults = len(self.sites)
+        self._pool = worker_pool(self.jobs) if n_faults > 1 else None
+        if self._pool is None:
+            return
+        chunk = max(1, -(-n_faults // (self.jobs * max(1, int(chunks_per_worker)))))
+        chunks = [(lo, min(lo + chunk, n_faults)) for lo in range(0, n_faults, chunk)]
+        if len(chunks) <= 1:
+            self._pool = None  # a single chunk gains nothing from shipping
+            return
+        self._pending = deque(chunks)
+        self.stats["mode"] = "sharded"
+        program_key, program_blob = pickled_program(program)
+        self._base_task = {
+            "program_key": program_key,
+            "program_blob": program_blob,
+            "backtrack_limit": self.backtrack_limit,
+        }
+
+    @property
+    def pooled(self) -> bool:
+        """Whether results are (still) coming from the worker pool."""
+        return self._pool is not None
+
+    def drop(self, index: int) -> None:
+        """Broadcast that the fault at ``index`` no longer needs a cube."""
+        self._dropped.add(index)
+
+    def _run_inline(self, index: int) -> RawPodemResult:
+        if self._engine is None:
+            self._engine = CompiledTernaryPodem(
+                self.program, backtrack_limit=self.backtrack_limit
+            )
+        return self._engine.run(self.sites[index], self.stuck_values[index])
+
+    def _pump(self) -> None:
+        """Submit pending chunks (minus dropped faults) and collect one result."""
+        max_inflight = self.jobs + 1
+        while self._pending and len(self._inflight) < max_inflight:
+            lo, hi = self._pending.popleft()
+            positions = [i for i in range(lo, hi) if i not in self._dropped]
+            self.stats["dropped_submissions"] += (hi - lo) - len(positions)
+            if not positions:
+                continue
+            task = dict(
+                self._base_task,
+                sites=[self.sites[i] for i in positions],
+                stuck_values=[self.stuck_values[i] for i in positions],
+            )
+            self.stats["chunks"] += 1
+            self._inflight.append((positions, self._pool.apply_async(_podem_chunk, (task,))))
+        if not self._inflight:
+            raise RuntimeError("PODEM scheduler has no pending work for the requested fault")
+        positions, handle = self._inflight.popleft()
+        for index, raw in zip(positions, handle.get(timeout=_CHUNK_TIMEOUT)):
+            self._buffer[index] = raw
+
+    def fetch(self, index: int) -> RawPodemResult:
+        """The PODEM result for the fault at ``index`` (blocking).
+
+        The driver fetches in increasing index order and never fetches a
+        dropped fault, so the result is either buffered already or owed by a
+        pending/in-flight chunk.  Any pool failure degrades to the inline
+        engine for this and all later fetches — already-buffered results
+        stay valid because per-fault runs are deterministic.
+        """
+        buffered = self._buffer.pop(index, None)
+        if buffered is not None:
+            return buffered
+        if self._pool is None:
+            return self._run_inline(index)
+        try:
+            while index not in self._buffer:
+                self._pump()
+            return self._buffer.pop(index)
+        except Exception:
+            _discard_broken_pool()
+            self._pool = None
+            self._inflight.clear()
+            self._pending.clear()
+            self.stats["mode"] = "inline"  # visible, like the fault-sim fallback
+            return self._run_inline(index)
 
 
 class ShardedBackend(PackedBackend):

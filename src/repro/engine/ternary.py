@@ -1,0 +1,467 @@
+"""Compiled three-valued (0/1/X) implication engine for PODEM.
+
+The dict-walking PODEM reference (:class:`repro.atpg.podem.DictPodemEngine`)
+re-simulates the *entire* circuit through per-net dictionaries and scalar
+``evaluate_ternary`` calls on every decision and every backtrack.  This
+module lowers the whole implication machinery onto the compiled array
+program of :mod:`repro.engine.compile`:
+
+* ternary values are held in a **two-plane code** — bit 0 means "can be 0",
+  bit 1 means "can be 1" — so ``0b01`` is logic 0, ``0b10`` is logic 1 and
+  ``0b11`` is X.  Under this encoding Kleene ternary logic is plain integer
+  bit twiddling: ``AND(a, b) = (a & b & 2) | ((a | b) & 1)``,
+  ``OR(a, b) = ((a | b) & 2) | (a & b & 1)``, ``NOT(a)`` swaps the planes.
+* the good and faulty machines are two flat per-row lists over the compiled
+  program; the fault site row is forced to the stuck code exactly like the
+  packed fault simulator forces its lanes.
+* implication is **incremental**: assigning (or retracting) one test pin
+  re-evaluates only that pin's fanout cone — the same cached
+  :meth:`~repro.engine.compile.CompiledCircuit.cone` indices the fault
+  simulator uses — instead of the whole circuit.
+* the D-frontier is extracted array-wise from the *fault cone* only (a D can
+  only originate at the fault site, so no gate outside the cone ever
+  qualifies), and X-path reachability is one reverse-topological sweep over
+  the cone instead of a breadth-first search per frontier gate.
+
+The decision procedure itself (:meth:`CompiledTernaryPodem.run`) mirrors the
+dict reference step for step — same objective selection, same backtrace,
+same backtrack bookkeeping — so the generated cubes, the
+detected/untestable/aborted classification and even the decision/backtrack
+counters are bit-identical; ``tests/test_ternary.py`` asserts this on every
+benchmark profile.  The engine works purely on rows and integers (no
+:mod:`repro.atpg` types), so the sharded backend can ship it to worker
+processes alongside the compiled program.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.engine.compile import (
+    CompiledCircuit,
+    OP_AND,
+    OP_BUF,
+    OP_CONST0,
+    OP_CONST1,
+    OP_NAND,
+    OP_NOR,
+    OP_NOT,
+    OP_OR,
+    OP_XNOR,
+    OP_XOR,
+)
+
+#: Environment variable forcing the PODEM implication implementation
+#: process-wide (``dict`` keeps the reference oracle, ``compiled`` forces
+#: this engine even under the naive backend).
+ATPG_MODE_ENV_VAR = "REPRO_ATPG_MODE"
+
+ATPG_MODES = ("auto", "dict", "compiled")
+
+#: Two-plane ternary codes: bit 0 = "can be 0", bit 1 = "can be 1".
+T_ZERO = 0b01
+T_ONE = 0b10
+T_X = 0b11
+
+#: Cube-bit (0/1/2) -> ternary code; inverse of :data:`_BIT_OF_CODE`.
+_CODE_OF_BIT = (T_ZERO, T_ONE, T_X)
+#: Ternary code -> cube bit (codes are 1..3; index 0 is unused).
+_BIT_OF_CODE = (None, 0, 1, 2)
+
+#: Raw engine result: ``(status, cube_bits, backtracks, decisions)`` with
+#: ``cube_bits`` a 0/1/2 list over the test-pin rows (``None`` unless
+#: detected).  This is what pool workers pickle back to the parent.
+RawPodemResult = Tuple[str, Optional[List[int]], int, int]
+
+
+def resolve_atpg_mode(mode: Optional[str] = None) -> str:
+    """Resolve a PODEM mode (explicit arg > ``REPRO_ATPG_MODE`` > auto).
+
+    Raises:
+        ValueError: for names outside :data:`ATPG_MODES`.
+    """
+    if mode is None:
+        mode = os.environ.get(ATPG_MODE_ENV_VAR, "").strip() or "auto"
+    if mode not in ATPG_MODES:
+        raise ValueError(f"unknown ATPG mode {mode!r}; choose from {ATPG_MODES}")
+    return mode
+
+
+def code_of_bit(bit: int) -> int:
+    """Ternary code for a cube bit (0 -> ``T_ZERO``, 1 -> ``T_ONE``, 2/X -> ``T_X``)."""
+    return _CODE_OF_BIT[bit]
+
+
+def bit_of_code(code: int) -> int:
+    """Cube bit (0/1/2) for a ternary code."""
+    return _BIT_OF_CODE[code]
+
+
+class CompiledTernaryPodem:
+    """PODEM over the compiled program with incremental ternary implication.
+
+    One engine instance serves any number of faults on its circuit: state is
+    rebuilt per fault from a cached all-X good-machine baseline, then every
+    decision/backtrack updates only the changed pin's fanout cone.
+
+    Args:
+        program: compiled circuit (shared with the packed fault simulator,
+            so the per-row cone cache is shared too).
+        backtrack_limit: abort threshold, as in the dict reference.
+    """
+
+    def __init__(self, program: CompiledCircuit, backtrack_limit: int = 100) -> None:
+        self.program = program
+        self.backtrack_limit = backtrack_limit
+        self._node_prog = program.node_prog
+        self._n_inputs = program.n_inputs
+        self._observable = program._observable_set
+        self._levels = program.node_levels
+        self._out_node = program.out_node
+        self._base_good: Optional[List[int]] = None
+        # Per-fault state, (re)built by reset().
+        self._good: List[int] = []
+        self._faulty: List[int] = []
+        self._d_rows: Set[int] = set()
+        self._site_row = -1
+        self._stuck_bit = 0
+        self._stuck_code = T_ZERO
+        self._site_cone = None
+
+    # -- kernel ------------------------------------------------------------
+    def _eval_single(self, positions, vals: List[int]) -> None:
+        """Evaluate ``positions`` (topological) on one machine's value list.
+
+        Inline opcode dispatch on purpose, mirroring ``packed_first_detects``
+        (see the note there): the two-plane ops are a handful of integer
+        instructions each, and routing them through a shared helper
+        measurably slows the hot path.  The fault site row is forced to the
+        stuck code, matching how the dict reference overrides the faulty
+        machine at the site.
+        """
+        node_prog = self._node_prog
+        site = self._site_row
+        stuck = self._stuck_code
+        for pos in positions:
+            op, out, src = node_prog[pos]
+            if op == OP_AND or op == OP_NAND:
+                a = vals[src[0]]
+                for r in src[1:]:
+                    b = vals[r]
+                    a = (a & b & 2) | ((a | b) & 1)
+                if op == OP_NAND:
+                    a = ((a & 1) << 1) | (a >> 1)
+            elif op == OP_OR or op == OP_NOR:
+                a = vals[src[0]]
+                for r in src[1:]:
+                    b = vals[r]
+                    a = ((a | b) & 2) | (a & b & 1)
+                if op == OP_NOR:
+                    a = ((a & 1) << 1) | (a >> 1)
+            elif op == OP_XOR or op == OP_XNOR:
+                a = vals[src[0]]
+                for r in src[1:]:
+                    b = vals[r]
+                    a = 3 if (a == 3 or b == 3) else 1 + ((a ^ b) >> 1)
+                if op == OP_XNOR:
+                    a = ((a & 1) << 1) | (a >> 1)
+            elif op == OP_NOT:
+                a = vals[src[0]]
+                a = ((a & 1) << 1) | (a >> 1)
+            elif op == OP_BUF:
+                a = vals[src[0]]
+            elif op == OP_CONST0:
+                a = T_ZERO
+            else:  # OP_CONST1
+                a = T_ONE
+            vals[out] = a if out != site else stuck
+
+    def _eval_pair(self, positions) -> None:
+        """Evaluate ``positions`` on the good and faulty machines together.
+
+        Also maintains the detected-output set: any written row that is
+        observable has its D membership refreshed.
+        """
+        node_prog = self._node_prog
+        good = self._good
+        faulty = self._faulty
+        site = self._site_row
+        stuck = self._stuck_code
+        observable = self._observable
+        d_rows = self._d_rows
+        for pos in positions:
+            op, out, src = node_prog[pos]
+            if op == OP_AND or op == OP_NAND:
+                g = good[src[0]]
+                f = faulty[src[0]]
+                for r in src[1:]:
+                    b = good[r]
+                    g = (g & b & 2) | ((g | b) & 1)
+                    b = faulty[r]
+                    f = (f & b & 2) | ((f | b) & 1)
+                if op == OP_NAND:
+                    g = ((g & 1) << 1) | (g >> 1)
+                    f = ((f & 1) << 1) | (f >> 1)
+            elif op == OP_OR or op == OP_NOR:
+                g = good[src[0]]
+                f = faulty[src[0]]
+                for r in src[1:]:
+                    b = good[r]
+                    g = ((g | b) & 2) | (g & b & 1)
+                    b = faulty[r]
+                    f = ((f | b) & 2) | (f & b & 1)
+                if op == OP_NOR:
+                    g = ((g & 1) << 1) | (g >> 1)
+                    f = ((f & 1) << 1) | (f >> 1)
+            elif op == OP_XOR or op == OP_XNOR:
+                g = good[src[0]]
+                f = faulty[src[0]]
+                for r in src[1:]:
+                    b = good[r]
+                    g = 3 if (g == 3 or b == 3) else 1 + ((g ^ b) >> 1)
+                    b = faulty[r]
+                    f = 3 if (f == 3 or b == 3) else 1 + ((f ^ b) >> 1)
+                if op == OP_XNOR:
+                    g = ((g & 1) << 1) | (g >> 1)
+                    f = ((f & 1) << 1) | (f >> 1)
+            elif op == OP_NOT:
+                g = good[src[0]]
+                g = ((g & 1) << 1) | (g >> 1)
+                f = faulty[src[0]]
+                f = ((f & 1) << 1) | (f >> 1)
+            elif op == OP_BUF:
+                g = good[src[0]]
+                f = faulty[src[0]]
+            elif op == OP_CONST0:
+                g = f = T_ZERO
+            else:  # OP_CONST1
+                g = f = T_ONE
+            if out == site:
+                f = stuck
+            good[out] = g
+            faulty[out] = f
+            if out in observable:
+                if (g ^ f) == 3:
+                    d_rows.add(out)
+                else:
+                    d_rows.discard(out)
+
+    # -- per-fault state ---------------------------------------------------
+    def reset(self, site_row: int, stuck_value: int) -> None:
+        """Rebuild the implication state for one fault, all pins at X.
+
+        Args:
+            site_row: value-table row of the fault site.
+            stuck_value: 0 or 1.
+        """
+        program = self.program
+        if self._base_good is None:
+            base = [T_X] * program.n_nets
+            self._site_row = -1  # no forcing during the baseline pass
+            self._eval_single(range(len(self._node_prog)), base)
+            self._base_good = base
+        self._site_row = site_row
+        self._stuck_bit = 1 if stuck_value else 0
+        self._stuck_code = T_ONE if stuck_value else T_ZERO
+        self._site_cone = program.cone(site_row)
+        good = self._good = list(self._base_good)
+        faulty = self._faulty = list(self._base_good)
+        faulty[site_row] = self._stuck_code
+        self._eval_single(self._site_cone.positions, faulty)
+        d_rows = self._d_rows = set()
+        for row in self._observable:
+            if (good[row] ^ faulty[row]) == 3:
+                d_rows.add(row)
+
+    def assign(self, pin_row: int, value: Optional[int]) -> None:
+        """Set a test pin to 0/1 (or back to X with ``None``) and re-imply.
+
+        Only the pin's fanout cone is re-evaluated; everything else is
+        untouched by construction.
+        """
+        code = T_X if value is None else _CODE_OF_BIT[value]
+        self._good[pin_row] = code
+        self._faulty[pin_row] = self._stuck_code if pin_row == self._site_row else code
+        if pin_row in self._observable:
+            if (self._good[pin_row] ^ self._faulty[pin_row]) == 3:
+                self._d_rows.add(pin_row)
+            else:
+                self._d_rows.discard(pin_row)
+        self._eval_pair(self.program.cone(pin_row).positions)
+
+    @property
+    def detected(self) -> bool:
+        """Whether any observable row currently carries a D."""
+        return bool(self._d_rows)
+
+    def machine_codes(self) -> Tuple[List[int], List[int]]:
+        """Copies of the (good, faulty) per-row ternary codes (for tests)."""
+        return list(self._good), list(self._faulty)
+
+    # -- analysis ----------------------------------------------------------
+    def d_frontier(self) -> List[int]:
+        """Node positions whose output is still X/X but an input carries a D.
+
+        Restricted to the fault cone — a D can only originate at the fault
+        site, so nothing outside the cone ever qualifies; the relative order
+        is topological, matching the dict reference's full-circuit walk.
+        """
+        node_prog = self._node_prog
+        good = self._good
+        faulty = self._faulty
+        frontier: List[int] = []
+        for pos in self._site_cone.positions:
+            _, out, src = node_prog[pos]
+            g = good[out]
+            f = faulty[out]
+            if (g ^ f) == 3:
+                continue  # output already carries the D
+            if g != 3 and f != 3:
+                continue  # fully specified without a D: the path died here
+            for r in src:
+                if (good[r] ^ faulty[r]) == 3:
+                    frontier.append(pos)
+                    break
+        return frontier
+
+    def _x_path_reach(self) -> Set[int]:
+        """Rows (within the fault cone) from which an X-path reaches an output.
+
+        One reverse-topological sweep replaces the reference's per-gate BFS:
+        a row reaches an output iff it is observable itself, or some reader's
+        output row is still *unblocked* (X in either machine, or carrying a
+        D) and reaches an output.
+        """
+        node_prog = self._node_prog
+        good = self._good
+        faulty = self._faulty
+        observable = self._observable
+        readers = self.program.reader_lists
+        reach: Set[int] = set()
+        for pos in reversed(self._site_cone.positions):
+            out = node_prog[pos][1]
+            if out in observable:
+                reach.add(out)
+                continue
+            for reader_pos in readers[out]:
+                o = node_prog[reader_pos][1]
+                if o in reach:
+                    g = good[o]
+                    f = faulty[o]
+                    if g == 3 or f == 3 or (g ^ f) == 3:
+                        reach.add(out)
+                        break
+        return reach
+
+    def choose_objective(self) -> Optional[Tuple[int, int]]:
+        """Next ``(row, value)`` objective, or ``None`` for a dead branch."""
+        good = self._good
+        site = self._site_row
+        site_code = good[site]
+        if site_code == T_X:
+            return site, 1 - self._stuck_bit
+        if site_code == self._stuck_code:
+            return None  # fault cannot be excited under the current assignment
+        frontier = self.d_frontier()
+        if not frontier:
+            return None
+        frontier.sort(key=self._levels.__getitem__, reverse=True)
+        reach = self._x_path_reach()
+        node_prog = self._node_prog
+        for pos in frontier:
+            op, out, src = node_prog[pos]
+            if out not in reach:
+                continue
+            for r in src:
+                if good[r] == T_X:
+                    if op == OP_OR or op == OP_NOR:
+                        value = 0  # non-controlling value of OR-like gates
+                    else:
+                        value = 1  # AND-like gates, and XOR-like "any definite value"
+                    return r, value
+        return None
+
+    def backtrace(self, row: int, value: int) -> Optional[Tuple[int, int]]:
+        """Walk an objective back to an unassigned test pin, as the reference does."""
+        good = self._good
+        node_prog = self._node_prog
+        out_node = self._out_node
+        current, target = row, value
+        guard = 0
+        limit = len(node_prog) + self._n_inputs + 1
+        while current >= self._n_inputs:
+            guard += 1
+            if guard > limit:
+                return None
+            op, _, src = node_prog[out_node[current]]
+            if op == OP_CONST0 or op == OP_CONST1:
+                return None
+            if op == OP_NOT or op == OP_NAND or op == OP_NOR or op == OP_XNOR:
+                target ^= 1
+            chosen = -1
+            for r in src:
+                if good[r] == T_X:
+                    chosen = r
+                    break
+            if chosen < 0:
+                return None
+            current = chosen
+        if good[current] != T_X:
+            return None
+        return current, target
+
+    # -- main search -------------------------------------------------------
+    def run(self, site_row: int, stuck_value: int) -> RawPodemResult:
+        """Search for a test cube detecting a stuck-at fault.
+
+        The control flow is a line-for-line mirror of the dict reference's
+        ``generate`` loop, with the full re-implication replaced by the
+        incremental cone updates of :meth:`assign`.
+
+        Returns:
+            ``(status, cube_bits, backtracks, decisions)`` with ``status``
+            one of ``"detected"`` / ``"untestable"`` / ``"aborted"`` and
+            ``cube_bits`` a 0/1/2 list over the test-pin rows (``None``
+            unless detected).
+        """
+        self.reset(site_row, stuck_value)
+        assignment: Dict[int, int] = {}
+        decisions: List[List[int]] = []  # [pin_row, value, exhausted]
+        backtracks = 0
+        total_decisions = 0
+
+        while True:
+            if self._d_rows:
+                bits = [2] * self._n_inputs
+                for pin, value in assignment.items():
+                    bits[pin] = value
+                return "detected", bits, backtracks, total_decisions
+
+            objective = self.choose_objective()
+            next_assignment: Optional[Tuple[int, int]] = None
+            if objective is not None:
+                next_assignment = self.backtrace(objective[0], objective[1])
+
+            if next_assignment is None:
+                # Dead branch: undo decisions until one still has an untried value.
+                while decisions and decisions[-1][2]:
+                    pin, __, __ = decisions.pop()
+                    assignment.pop(pin, None)
+                    self.assign(pin, None)
+                if not decisions:
+                    return "untestable", None, backtracks, total_decisions
+                backtracks += 1
+                if backtracks > self.backtrack_limit:
+                    return "aborted", None, backtracks, total_decisions
+                decisions[-1][1] ^= 1
+                decisions[-1][2] = True
+                assignment[decisions[-1][0]] = decisions[-1][1]
+                self.assign(decisions[-1][0], decisions[-1][1])
+                continue
+
+            pin, value = next_assignment
+            assignment[pin] = value
+            decisions.append([pin, value, False])
+            total_decisions += 1
+            self.assign(pin, value)

@@ -233,8 +233,9 @@ def build_parser() -> argparse.ArgumentParser:
         type=_jobs_argument,
         default=None,
         help="worker processes for independent (artifact x benchmark) cells "
-        "and the sharded backend (default: REPRO_JOBS or 1; report text is "
-        "byte-identical to a serial run)",
+        "and the sharded backend, including its sharded PODEM cube "
+        "generation (default: REPRO_JOBS or 1; report text is byte-identical "
+        "to a serial run)",
     )
     return parser
 

@@ -142,6 +142,29 @@ def _store_cached_cubes(key: str, cubes: TestSet) -> None:
             pass
 
 
+def _cube_cache_key(
+    profile: BenchmarkProfile, circuit: Circuit, source: str, seed: int
+) -> str:
+    """Disk-cache key for one workload's cube set.
+
+    The key must change whenever *anything* that shaped the cubes changes:
+    besides the profile/seed/shape it therefore includes the circuit's
+    content digest (an edited netlist must not be served another netlist's
+    cubes) and, for the PODEM source, the ATPG knobs (a changed backtrack
+    limit, fault cap or dropping mode produces different cubes from the same
+    circuit).  The synthetic source instead depends on the targeted X
+    density.
+    """
+    if source == "podem":
+        knobs = f"bt{ATPG_BACKTRACK_LIMIT}_mf{ATPG_MAX_FAULTS}_drop1"
+    else:
+        knobs = f"x{profile.x_fraction:.4f}"
+    return (
+        f"{profile.name}_{source}_s{seed}_{circuit.n_test_pins}x{profile.n_patterns}"
+        f"_{circuit.structure_digest()[:12]}_{knobs}"
+    )
+
+
 def _build_podem_cubes(circuit: Circuit, profile: BenchmarkProfile, seed: int) -> TestSet:
     result = generate_test_cubes(
         circuit,
@@ -185,7 +208,7 @@ def build_workload(name: str, seed: int = 0) -> Workload:
 
     use_podem = profile.gates <= ATPG_GATE_LIMIT
     source = "podem" if use_podem else "synthetic"
-    cache_key = f"{profile.name}_{source}_s{seed}_{circuit.n_test_pins}x{profile.n_patterns}"
+    cache_key = _cube_cache_key(profile, circuit, source, seed)
 
     cubes = _load_cached_cubes(cache_key, circuit.n_test_pins)
     if cubes is None:

@@ -8,8 +8,13 @@ and disagree — exactly the toggles that no later X-fill can avoid.
 
 The tour is greedy: start from the cube with the most specified bits (the
 hardest to place anywhere) and repeatedly append the unvisited cube with the
-smallest conflict distance to the current one.  Complexity is
-``O(n^2 * m / w)`` with vectorised distance evaluation.
+smallest conflict distance to the current one.  The specified-plane work is
+hoisted out of the loop (see :mod:`repro.orderings.xstat_ordering`): the
+conflict counts of one step are a single matrix–vector product over the
+pre-computed 0/1 indicator planes — exact, as integer counts stay far below
+float32's 2**24 ceiling — so the tour is bit-identical to the direct
+boolean-mask formulation at a fraction of its per-step cost.  Complexity
+stays ``O(n^2 * m)`` but with a BLAS constant.
 """
 
 from __future__ import annotations
@@ -17,7 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.ordering import OrderingResult
-from repro.cubes.bits import X
+from repro.cubes.bits import ONE, ZERO
 from repro.cubes.cube import TestSet
 from repro.orderings.base import Ordering, register_ordering
 
@@ -33,21 +38,27 @@ class ISAOrdering(Ordering):
             return OrderingResult(ordered=patterns.copy(), permutation=list(range(n)))
 
         data = patterns.matrix
-        specified = data != X
         x_counts = patterns.x_counts_per_pattern()
+
+        # conflicts(i | c) = ones_i . zeros_c + zeros_i . ones_c: both
+        # specified and disagreeing, as one GEMV over the stacked planes
+        # (float32 counts are exact — integer sums far below 2**24).
+        n_pins = data.shape[1]
+        ones_plane = (data == ONE).astype(np.float32)
+        zeros_plane = (data == ZERO).astype(np.float32)
+        planes = np.concatenate([ones_plane, zeros_plane], axis=1)
 
         visited = np.zeros(n, dtype=bool)
         current = int(np.argmin(x_counts))
         permutation = [current]
         visited[current] = True
 
+        weights = np.empty(2 * n_pins, dtype=np.float32)
         for __ in range(n - 1):
-            cur_bits = data[current]
-            cur_spec = specified[current]
-            conflicts = np.count_nonzero(
-                (data != cur_bits) & specified & cur_spec[None, :], axis=1
-            ).astype(np.int64)
-            conflicts[visited] = np.iinfo(np.int64).max
+            weights[:n_pins] = zeros_plane[current]
+            weights[n_pins:] = ones_plane[current]
+            conflicts = planes @ weights
+            conflicts[visited] = np.inf
             nxt = int(np.argmin(conflicts))
             permutation.append(nxt)
             visited[nxt] = True

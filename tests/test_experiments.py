@@ -81,6 +81,59 @@ class TestWorkloads:
         assert workload.circuit.n_gates <= 3000
 
 
+class TestWorkloadCacheKey:
+    """An edited netlist or changed ATPG knobs must never serve stale cubes."""
+
+    @staticmethod
+    def _fresh_circuit(name: str):
+        from repro.circuit.library import itc99_like
+
+        return itc99_like(name, seed=0)
+
+    def test_key_tracks_circuit_structure(self):
+        from repro.circuit.gates import GateType
+        from repro.experiments.workloads import _cube_cache_key
+
+        profile = get_profile("b01")
+        edited = self._fresh_circuit("b01")
+        before = _cube_cache_key(profile, edited, "podem", seed=0)
+        assert edited.structure_digest()[:12] in before
+        inputs = edited.combinational_inputs
+        edited.add_gate("extra_probe", GateType.AND, [inputs[0], inputs[1]])
+        edited.add_output("extra_probe")
+        assert _cube_cache_key(profile, edited, "podem", seed=0) != before
+
+    def test_key_tracks_atpg_knobs(self, monkeypatch):
+        import repro.experiments.workloads as workloads_module
+        from repro.experiments.workloads import _cube_cache_key
+
+        profile = get_profile("b01")
+        circuit = self._fresh_circuit("b01")
+        before = _cube_cache_key(profile, circuit, "podem", seed=0)
+        monkeypatch.setattr(workloads_module, "ATPG_BACKTRACK_LIMIT", 99)
+        changed_limit = _cube_cache_key(profile, circuit, "podem", seed=0)
+        assert changed_limit != before
+        monkeypatch.setattr(workloads_module, "ATPG_MAX_FAULTS", 7)
+        assert _cube_cache_key(profile, circuit, "podem", seed=0) != changed_limit
+
+    def test_synthetic_key_tracks_x_density(self):
+        from dataclasses import replace
+
+        from repro.experiments.workloads import _cube_cache_key
+
+        profile = get_profile("b04")
+        circuit = self._fresh_circuit("b04")
+        key = _cube_cache_key(profile, circuit, "synthetic", seed=0)
+        denser = replace(profile, x_percent=profile.x_percent / 2)
+        assert _cube_cache_key(denser, circuit, "synthetic", seed=0) != key
+
+    def test_structure_digest_is_content_stable(self):
+        a = self._fresh_circuit("b01")
+        b = self._fresh_circuit("b01")
+        assert a is not b
+        assert a.structure_digest() == b.structure_digest()
+
+
 class TestReportRendering:
     def _table(self) -> TableResult:
         return TableResult(

@@ -1,0 +1,291 @@
+"""Parity suite: compiled ternary PODEM vs the dict-walking reference.
+
+The contract mirrors the simulation engines': the compiled implication
+engine must be *bit-identical* to the dict reference — same good/faulty
+machine states, same D-frontier, same generated cubes, same
+detected/untestable/aborted classification and even the same
+decision/backtrack counters — on every benchmark profile, every gate type
+and every backtrack-limit edge case.  On top of parity, every generated
+cube must still detect its target fault under pessimistic X-fill.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.atpg.collapse import collapse_faults
+from repro.atpg.fault_sim import FaultSimulator
+from repro.atpg.faults import StuckAtFault, full_fault_list
+from repro.atpg.podem import DictPodemEngine, PodemEngine
+from repro.circuit.gates import GateType
+from repro.circuit.generator import CircuitSpec, generate_circuit
+from repro.circuit.library import b01_like_fsm, c17, ripple_counter
+from repro.circuit.netlist import Circuit
+from repro.cubes.bits import ONE, X, ZERO
+from repro.engine.backend import get_backend
+from repro.engine.ternary import (
+    ATPG_MODE_ENV_VAR,
+    CompiledTernaryPodem,
+    T_ONE,
+    T_X,
+    T_ZERO,
+    bit_of_code,
+    code_of_bit,
+    resolve_atpg_mode,
+)
+from repro.experiments.workloads import build_workload, default_workload_names
+
+
+def _all_gates_circuit() -> Circuit:
+    """One gate of every evaluable type, with reconvergence and a DFF."""
+    circuit = Circuit("allgates")
+    for name in ("a", "b", "c"):
+        circuit.add_input(name)
+    circuit.add_gate("n_and", GateType.AND, ["a", "b"])
+    circuit.add_gate("n_nand", GateType.NAND, ["b", "c"])
+    circuit.add_gate("n_or", GateType.OR, ["n_and", "c"])
+    circuit.add_gate("n_nor", GateType.NOR, ["n_and", "n_nand"])
+    circuit.add_gate("n_xor", GateType.XOR, ["n_or", "n_nor"])
+    circuit.add_gate("n_xnor", GateType.XNOR, ["n_xor", "a"])
+    circuit.add_gate("n_not", GateType.NOT, ["n_xnor"])
+    circuit.add_gate("n_buf", GateType.BUF, ["n_not"])
+    circuit.add_gate("k0", GateType.CONST0, [])
+    circuit.add_gate("k1", GateType.CONST1, [])
+    circuit.add_gate("n_mix", GateType.AND, ["n_buf", "k1", "n_xor"])
+    circuit.add_gate("n_mix2", GateType.OR, ["n_mix", "k0"])
+    circuit.add_gate("ff", GateType.DFF, ["n_mix2"])
+    circuit.add_gate("n_obs", GateType.XOR, ["ff", "n_nor"])
+    circuit.add_output("n_obs")
+    circuit.add_output("n_mix2")
+    circuit.validate()
+    return circuit
+
+
+CIRCUITS = [
+    pytest.param(lambda: c17(), id="c17"),
+    pytest.param(lambda: b01_like_fsm(), id="b01_fsm"),
+    pytest.param(lambda: ripple_counter(3), id="counter3"),
+    pytest.param(_all_gates_circuit, id="allgates"),
+    pytest.param(
+        lambda: generate_circuit(CircuitSpec("rand_small", 8, 10, 150, seed=11)),
+        id="rand_small",
+    ),
+]
+
+
+def _sample_faults(circuit: Circuit, cap: int):
+    faults = collapse_faults(circuit)
+    if len(faults) <= cap:
+        return faults
+    stride = len(faults) / cap
+    return [faults[int(i * stride)] for i in range(cap)]
+
+
+def _assert_same_result(a, b, context):
+    assert a.status == b.status, context
+    assert a.backtracks == b.backtracks, context
+    assert a.decisions == b.decisions, context
+    if a.detected:
+        assert np.array_equal(np.asarray(a.cube.bits), np.asarray(b.cube.bits)), context
+    else:
+        assert b.cube is None, context
+
+
+class TestTernaryCodes:
+    def test_code_round_trip(self):
+        for bit, code in ((ZERO, T_ZERO), (ONE, T_ONE), (X, T_X)):
+            assert code_of_bit(bit) == code
+            assert bit_of_code(code) == bit
+
+
+class TestImplicationParity:
+    """The compiled machine states must equal the dict reference's, net by net."""
+
+    @pytest.mark.parametrize("make_circuit", CIRCUITS)
+    def test_machines_match_dict_imply(self, make_circuit, rng):
+        circuit = make_circuit()
+        reference = DictPodemEngine(circuit)
+        program = get_backend("packed").compiled_program(circuit)
+        engine = CompiledTernaryPodem(program)
+        pins = circuit.combinational_inputs
+        for fault in _sample_faults(circuit, 10):
+            site_row = program.net_index[fault.net]
+            engine.reset(site_row, fault.stuck_value)
+            # A growing random assignment, applied pin by pin (incremental
+            # implication) and once more with retractions mixed in.
+            assigned = {}
+            for pin in rng.permutation(pins)[: max(1, len(pins) // 2)]:
+                value = int(rng.integers(0, 2))
+                assigned[str(pin)] = value
+                engine.assign(program.net_index[str(pin)], value)
+            retract = [pin for pin in assigned][::3]
+            for pin in retract:
+                assigned.pop(pin)
+                engine.assign(program.net_index[pin], None)
+            good_ref, faulty_ref = reference._imply(assigned, fault)
+            good, faulty = engine.machine_codes()
+            for net, row in program.net_index.items():
+                assert bit_of_code(good[row]) == good_ref[net], (fault, net)
+                assert bit_of_code(faulty[row]) == faulty_ref[net], (fault, net)
+            assert engine.detected == reference._detected(good_ref, faulty_ref), fault
+
+    @pytest.mark.parametrize("make_circuit", CIRCUITS)
+    def test_d_frontier_and_objective_match(self, make_circuit, rng):
+        circuit = make_circuit()
+        reference = DictPodemEngine(circuit)
+        program = get_backend("packed").compiled_program(circuit)
+        engine = CompiledTernaryPodem(program)
+        node_prog = program.node_prog
+        pins = circuit.combinational_inputs
+        for fault in _sample_faults(circuit, 10):
+            engine.reset(program.net_index[fault.net], fault.stuck_value)
+            assigned = {}
+            for pin in rng.permutation(pins)[: max(1, len(pins) // 3)]:
+                value = int(rng.integers(0, 2))
+                assigned[str(pin)] = value
+                engine.assign(program.net_index[str(pin)], value)
+            good_ref, faulty_ref = reference._imply(assigned, fault)
+            frontier_ref = reference._d_frontier(good_ref, faulty_ref)
+            frontier = [
+                program.net_names[node_prog[pos][1]] for pos in engine.d_frontier()
+            ]
+            assert frontier == frontier_ref, fault
+            reach = engine._x_path_reach()
+            for name in frontier_ref:
+                assert (program.net_index[name] in reach) == reference._x_path_exists(
+                    name, good_ref, faulty_ref
+                ), (fault, name)
+
+
+class TestPodemParity:
+    @pytest.mark.parametrize("make_circuit", CIRCUITS)
+    def test_full_fault_list_small_circuits(self, make_circuit):
+        circuit = make_circuit()
+        dict_engine = PodemEngine(circuit, mode="dict")
+        compiled = PodemEngine(circuit, mode="compiled")
+        faults = full_fault_list(circuit)
+        if len(faults) > 64:  # keep the dict reference's share of the runtime sane
+            stride = len(faults) / 64
+            faults = [faults[int(i * stride)] for i in range(64)]
+        for fault in faults:
+            _assert_same_result(
+                dict_engine.generate(fault), compiled.generate(fault), fault
+            )
+
+    @pytest.mark.parametrize("name", default_workload_names())
+    def test_benchmark_profile_parity(self, name):
+        """Identical classification and cubes on every benchmark profile."""
+        workload = build_workload(name)
+        circuit = workload.circuit
+        cap = 16 if circuit.n_gates <= 650 else 8
+        faults = _sample_faults(circuit, cap)
+        dict_engine = PodemEngine(circuit, backtrack_limit=15, mode="dict")
+        compiled = PodemEngine(circuit, backtrack_limit=15, mode="compiled")
+        simulator = FaultSimulator(circuit)
+        statuses = set()
+        for fault in faults:
+            reference = dict_engine.generate(fault)
+            result = compiled.generate(fault)
+            _assert_same_result(reference, result, (name, fault))
+            statuses.add(result.status)
+            if result.detected:
+                # The cube, with X bits filled pessimistically both ways,
+                # must still detect its target fault.
+                for fill in (ZERO, ONE):
+                    bits = result.cube.filled_with(fill).bits
+                    assert simulator.detects(bits, fault), (name, fault, fill)
+        assert "detected" in statuses, name
+
+
+class TestBacktrackLimits:
+    def _redundant_circuit(self) -> Circuit:
+        # y = OR(a, NOT(a)) is constant 1: y/sa1 is undetectable.
+        circuit = Circuit()
+        circuit.add_input("a")
+        circuit.add_gate("na", GateType.NOT, ["a"])
+        circuit.add_gate("y", GateType.OR, ["a", "na"])
+        circuit.add_output("y")
+        return circuit
+
+    @pytest.mark.parametrize("limit", [0, 1, 2])
+    def test_redundant_fault_at_tiny_limits(self, limit):
+        circuit = self._redundant_circuit()
+        fault = StuckAtFault("y", ONE)
+        reference = PodemEngine(circuit, backtrack_limit=limit, mode="dict").generate(fault)
+        result = PodemEngine(circuit, backtrack_limit=limit, mode="compiled").generate(fault)
+        _assert_same_result(reference, result, limit)
+        # Proving redundancy needs one backtrack: limit 0 aborts, limits >= 1
+        # exhaust the (single-pin) search space.
+        assert result.status == ("aborted" if limit == 0 else "untestable")
+
+    def test_exact_limit_boundary(self):
+        """A run that used B backtracks must survive limit B and abort at B-1."""
+        circuit = b01_like_fsm()
+        unlimited = PodemEngine(circuit, backtrack_limit=10_000, mode="compiled")
+        fault = next(
+            (
+                f
+                for f in collapse_faults(circuit)
+                if unlimited.generate(f).backtracks > 0
+            ),
+            None,
+        )
+        assert fault is not None, "expected at least one backtracking fault"
+        backtracks = unlimited.generate(fault).backtracks
+        for limit, mode in ((backtracks, "exact"), (backtracks - 1, "below")):
+            reference = PodemEngine(circuit, backtrack_limit=limit, mode="dict").generate(fault)
+            result = PodemEngine(circuit, backtrack_limit=limit, mode="compiled").generate(fault)
+            _assert_same_result(reference, result, (fault, mode))
+            if mode == "below":
+                assert result.status == "aborted"
+            else:
+                assert result.status != "aborted"
+
+    @pytest.mark.parametrize("limit", [0, 1])
+    def test_tiny_limits_across_fault_list(self, limit):
+        circuit = b01_like_fsm()
+        dict_engine = PodemEngine(circuit, backtrack_limit=limit, mode="dict")
+        compiled = PodemEngine(circuit, backtrack_limit=limit, mode="compiled")
+        for fault in collapse_faults(circuit):
+            _assert_same_result(
+                dict_engine.generate(fault), compiled.generate(fault), (limit, fault)
+            )
+
+
+class TestModeResolution:
+    def test_backend_preferences(self, monkeypatch):
+        monkeypatch.delenv(ATPG_MODE_ENV_VAR, raising=False)
+        circuit = c17()
+        assert PodemEngine(circuit, backend="naive").implementation == "dict"
+        assert PodemEngine(circuit, backend="packed").implementation == "compiled"
+        assert PodemEngine(circuit, backend="sharded").implementation == "compiled"
+
+    def test_explicit_mode_beats_backend(self):
+        circuit = c17()
+        assert PodemEngine(circuit, backend="naive", mode="compiled").implementation == "compiled"
+        assert PodemEngine(circuit, backend="packed", mode="dict").implementation == "dict"
+
+    def test_env_var_forces_mode(self, monkeypatch):
+        circuit = c17()
+        monkeypatch.setenv(ATPG_MODE_ENV_VAR, "dict")
+        assert PodemEngine(circuit, backend="packed").implementation == "dict"
+        monkeypatch.setenv(ATPG_MODE_ENV_VAR, "compiled")
+        assert PodemEngine(circuit, backend="naive").implementation == "compiled"
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_atpg_mode("vectorised")
+        with pytest.raises(ValueError):
+            PodemEngine(c17(), mode="nope")
+
+    def test_compiled_engine_shares_backend_program(self):
+        circuit = c17()
+        backend = get_backend("packed")
+        engine = PodemEngine(circuit, backend=backend)
+        assert engine.program is backend.compiled_program(circuit)
+
+    def test_unknown_fault_net_raises(self):
+        engine = PodemEngine(c17(), mode="compiled")
+        with pytest.raises(KeyError):
+            engine.generate(StuckAtFault("no_such_net", ZERO))
