@@ -80,6 +80,17 @@ ATPG_BENCH_BACKTRACKS = 15
 #: largest profile (the ATPG acceptance gate).
 ATPG_GATE_SPEEDUP = 3.0
 
+#: The cluster backend re-runs the sharded backend's work units through the
+#: transport layer; its mp transport may cost at most this factor over the
+#: sharded backend on the largest profile (a no-regression gate that holds
+#: on 1-core runners too — same pool, same chunks, only the dispatch path
+#: differs).
+CLUSTER_GATE_SLOWDOWN = 1.5
+
+#: Transports the standalone cluster sweep times (queue spawns two local
+#: worker processes, exercising the full spool/lease path).
+CLUSTER_TRANSPORTS = ["local", "mp", "queue"]
+
 #: Mirrors ``conftest.bench_names`` (kept local so ``python
 #: benchmarks/bench_engine.py`` works without pytest's conftest loading).
 BENCH_NAMES = ["b01", "b03", "b08", "b04", "b12"]
@@ -209,10 +220,15 @@ def _available_cores() -> int:
 
 
 def _write_json(
-    rows: List[dict], jobs: int, largest: dict, fault_modes: dict, atpg: dict
+    rows: List[dict],
+    jobs: int,
+    largest: dict,
+    fault_modes: dict,
+    atpg: dict,
+    cluster: dict,
 ) -> None:
     payload = {
-        "schema": 3,
+        "schema": 4,
         "git_sha": _git_sha(),
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "python": sys.version.split()[0],
@@ -224,6 +240,7 @@ def _write_json(
         "largest": largest,
         "fault_modes": fault_modes,
         "atpg": atpg,
+        "cluster": cluster,
     }
     BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"\nwrote {BENCH_JSON.resolve()}")
@@ -406,6 +423,74 @@ def _atpg_sweep(jobs: int) -> dict:
     }
 
 
+def _cluster_sweep(jobs: int, largest_row: dict) -> dict:
+    """Time the cluster backend's transports on the largest profile.
+
+    Parity against the packed reference is asserted before any timing is
+    reported.  The ``mp`` transport runs the exact sharded work units
+    through the transport layer, so its time over the sharded backend's is
+    a pure dispatch-overhead measurement — the no-regression gate.  The
+    queue transport spools tasks to two ``repro.cluster.worker``
+    subprocesses (full lease/heartbeat path, reported informationally).
+    """
+    from repro.cluster import ClusterFaultSimulator, QueueTransport
+
+    name = largest_row["circuit"]
+    workload = build_workload(name)
+    circuit = workload.circuit
+    patterns = _filled_patterns(workload)
+    faults = collapse_faults(circuit)
+    program = get_backend("packed").compiled_program(circuit)
+    reference = PackedFaultSimulator(circuit, program=program).run(patterns, faults)
+    sharded_seconds = largest_row["seconds"]["sharded"]["fault"]
+
+    print(f"\ncluster transports on {name} ({jobs} jobs, vs sharded):")
+    header = f"{'transport':>10} {'fault (ms)':>11} {'vs sharded':>10}"
+    print(header)
+    print("-" * len(header))
+    timings: Dict[str, float] = {}
+    queue_transport = None
+    try:
+        for transport_name in CLUSTER_TRANSPORTS:
+            if transport_name == "queue":
+                queue_transport = QueueTransport(workers=2, jobs=jobs)
+                transport = queue_transport
+            else:
+                transport = transport_name
+            t_cluster, result = _time_best(
+                lambda t=transport: lambda: ClusterFaultSimulator(
+                    circuit, transport=t, jobs=jobs, program=program
+                ).run(patterns, faults),
+                repeats=2,
+            )
+            assert list(reference.detected.items()) == list(result.detected.items()), (
+                transport_name
+            )
+            assert reference.undetected == result.undetected, transport_name
+            timings[transport_name] = t_cluster
+            print(
+                f"{transport_name:>10} {t_cluster * 1000:>11.1f} "
+                f"{sharded_seconds / t_cluster:>9.2f}x"
+            )
+    finally:
+        # A failed parity assert must not leak the spawned queue workers
+        # (they only exit on the stop file / spool removal).
+        if queue_transport is not None:
+            queue_transport.close()
+    mp_ratio = timings["mp"] / sharded_seconds
+    print(
+        f"cluster mp dispatch overhead: {mp_ratio:.2f}x sharded "
+        f"(gate: <= {CLUSTER_GATE_SLOWDOWN:.1f}x)"
+    )
+    return {
+        "circuit": name,
+        "jobs": jobs,
+        "seconds": timings,
+        "sharded_seconds": sharded_seconds,
+        "mp_vs_sharded_slowdown": mp_ratio,
+    }
+
+
 def main() -> int:
     """Print the backend speedup table; write ``BENCH_engine.json``."""
     env = os.environ.get(JOBS_ENV_VAR, "").strip()
@@ -497,7 +582,8 @@ def _main(jobs: int) -> int:
     )
     fault_modes = _fault_mode_sweep()
     atpg = _atpg_sweep(jobs)
-    _write_json(rows, jobs, largest, fault_modes, atpg)
+    cluster = _cluster_sweep(jobs, largest_row)
+    _write_json(rows, jobs, largest, fault_modes, atpg, cluster)
 
     code = 0
     if packed_speedup < 5.0:
@@ -523,6 +609,12 @@ def _main(jobs: int) -> int:
         print(
             f"WARNING: compiled PODEM below the {ATPG_GATE_SPEEDUP:.0f}x "
             "acceptance threshold vs the dict reference on the largest profile"
+        )
+        code = 1
+    if cluster["mp_vs_sharded_slowdown"] > CLUSTER_GATE_SLOWDOWN:
+        print(
+            f"WARNING: cluster mp transport more than {CLUSTER_GATE_SLOWDOWN:.1f}x "
+            "slower than the sharded backend on the largest profile"
         )
         code = 1
     return code

@@ -30,6 +30,7 @@ from repro.atpg.podem import PodemEngine
 from repro.circuit.netlist import Circuit
 from repro.cubes.bits import BIT_DTYPE, X
 from repro.cubes.cube import TestCube, TestSet
+from repro.cluster.atpg import ClusterPodemScheduler
 from repro.engine.backend import SimulationBackend
 from repro.engine.sharded import ShardedPodemScheduler, parse_jobs, resolve_jobs
 
@@ -88,33 +89,41 @@ MIN_SHARDED_PODEM_FAULTS = 32
 
 def _podem_scheduler(
     engine: PodemEngine, faults: Sequence[StuckAtFault], jobs: Optional[int]
-) -> Optional[ShardedPodemScheduler]:
-    """Build a pool-backed PODEM scheduler, or ``None`` for serial generation.
+) -> Optional[ClusterPodemScheduler]:
+    """Build a pooled PODEM scheduler, or ``None`` for serial generation.
 
     Pooled generation engages for an explicit ``jobs`` > 1, or — mirroring
     how fault simulation fans out — automatically when the resolved backend
-    is the sharded one.  It requires the compiled implication engine (the
-    workers run it); with the dict reference in effect generation stays
-    serial regardless of ``jobs``.
+    is the sharded or cluster one.  It requires the compiled implication
+    engine (the workers run it); with the dict reference in effect
+    generation stays serial regardless of ``jobs``.  The sharded backend
+    schedules on the shared spawn pool; the cluster backend schedules over
+    its resolved transport (``REPRO_TRANSPORT``).
     """
     if engine.implementation != "compiled":
         return None
+    backend_name = engine.backend.name
     if jobs is None:
-        if engine.backend.name != "sharded":
+        if backend_name not in ("sharded", "cluster"):
             return None
-        jobs = resolve_jobs(None)
+        jobs = resolve_jobs(getattr(engine.backend, "jobs", None))
     else:
         jobs = parse_jobs(jobs)
     if jobs <= 1 or len(faults) < MIN_SHARDED_PODEM_FAULTS:
         return None
     program = engine.program
-    scheduler = ShardedPodemScheduler(
-        program,
+    kwargs = dict(
         sites=[program.net_index[fault.net] for fault in faults],
         stuck_values=[fault.stuck_value for fault in faults],
         backtrack_limit=engine.backtrack_limit,
         jobs=jobs,
     )
+    if backend_name == "cluster":
+        scheduler: ClusterPodemScheduler = ClusterPodemScheduler(
+            program, transport=getattr(engine.backend, "transport", None), **kwargs
+        )
+    else:
+        scheduler = ShardedPodemScheduler(program, **kwargs)
     return scheduler if scheduler.pooled else None
 
 
@@ -143,9 +152,9 @@ def generate_test_cubes(
             disabled every target fault gets its own cube.
         seed: seed for the random fill used during dropping.
         jobs: worker processes for cube generation; ``None`` fans out only
-            under the sharded backend (resolving through ``REPRO_JOBS``),
-            ``1`` forces a serial run.  Results are bit-identical for every
-            value.
+            under the sharded or cluster backends (resolving through
+            ``REPRO_JOBS``), ``1`` forces a serial run.  Results are
+            bit-identical for every value and every cluster transport.
         backend: simulation backend for PODEM and the dropping fault sim
             (registry default when omitted).
         atpg_mode: PODEM implication implementation (``"auto"`` / ``"dict"``

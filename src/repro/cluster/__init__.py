@@ -1,0 +1,97 @@
+"""Queue-backed distributed executor for simulation work units.
+
+``repro.cluster`` fans the engine's transport-agnostic work units — fault
+chunks, pattern shards, PODEM chunks and experiment-runner cells — out over
+pluggable transports:
+
+* ``local`` — in-process execution (tests, semantics oracle);
+* ``mp`` — the shared spawn-safe process pool (the sharded backend's pool
+  behind the transport interface);
+* ``queue`` — a file-backed task queue with lease/heartbeat retry and a
+  ``python -m repro.cluster.worker`` entrypoint so workers can join from
+  other hosts or containers over a shared filesystem.
+
+Importing this package registers the ``"cluster"`` simulation backend
+(``REPRO_BACKEND=cluster``); results are bit-identical to the ``packed``,
+``sharded`` and ``naive`` backends for every transport, worker count,
+failure pattern and task arrival order — the protocol's merges are
+order-independent and idempotent by construction
+(:mod:`repro.cluster.protocol`).
+"""
+
+# Fully initialise the engine package first: repro.engine.sharded and the
+# cluster submodules import each other's siblings, and this ordering keeps
+# every cross-import hitting an already-complete module regardless of
+# whether ``repro.engine`` or ``repro.cluster`` is imported first.
+import repro.engine  # noqa: F401  (import order, see above)
+
+from repro.cluster.atpg import ClusterPodemScheduler
+from repro.cluster.backend import ClusterBackend
+from repro.cluster.fault_sim import ClusterFaultSimulator, run_fault_plan
+from repro.cluster.protocol import (
+    CHUNK_PLAN_ENV_VAR,
+    CHUNK_PLANS,
+    CHUNKS_PER_WORKER,
+    MIN_CHUNK_FAULTS,
+    WORKER_ENV_VAR,
+    AdaptiveChunker,
+    execute_task,
+    in_worker_context,
+    min_merge,
+    pickled_program,
+    plan_chunks,
+    resolve_chunk_plan,
+)
+from repro.cluster.transport import (
+    DEFAULT_TRANSPORT_NAME,
+    QUEUE_DIR_ENV_VAR,
+    QUEUE_WORKERS_ENV_VAR,
+    TRANSPORT_ENV_VAR,
+    TRANSPORTS,
+    LocalTransport,
+    MpTransport,
+    QueueTransport,
+    Transport,
+    TransportError,
+    TransportTaskError,
+    default_transport_name,
+    parse_transport_spec,
+    resolve_transport,
+    set_default_transport,
+    shutdown_shared_transports,
+)
+
+__all__ = [
+    "CHUNK_PLAN_ENV_VAR",
+    "CHUNK_PLANS",
+    "CHUNKS_PER_WORKER",
+    "DEFAULT_TRANSPORT_NAME",
+    "MIN_CHUNK_FAULTS",
+    "QUEUE_DIR_ENV_VAR",
+    "QUEUE_WORKERS_ENV_VAR",
+    "TRANSPORT_ENV_VAR",
+    "TRANSPORTS",
+    "WORKER_ENV_VAR",
+    "AdaptiveChunker",
+    "ClusterBackend",
+    "ClusterFaultSimulator",
+    "ClusterPodemScheduler",
+    "LocalTransport",
+    "MpTransport",
+    "QueueTransport",
+    "Transport",
+    "TransportError",
+    "TransportTaskError",
+    "default_transport_name",
+    "execute_task",
+    "in_worker_context",
+    "min_merge",
+    "parse_transport_spec",
+    "pickled_program",
+    "plan_chunks",
+    "resolve_chunk_plan",
+    "resolve_transport",
+    "run_fault_plan",
+    "set_default_transport",
+    "shutdown_shared_transports",
+]

@@ -1,0 +1,791 @@
+"""Pluggable transports moving cluster work units to their executors.
+
+A *transport* is a tiny submit/collect interface over which the cluster
+executor schedules :mod:`repro.cluster.protocol` task dicts:
+
+* ``"local"`` — tasks execute in-process, one per :meth:`next_result` call.
+  Zero setup, fully deterministic; the transport of choice for tests and
+  the semantics oracle for the other two.
+* ``"mp"`` — tasks ride the shared spawn-safe process pool
+  (:mod:`repro.engine.pool`) that the sharded backend already uses.  This
+  is the refactor of the PR 2 pool behind the transport interface: same
+  pool, same lifecycle, same inline-fallback conditions.
+* ``"queue"`` — a file-backed task queue in a *spool directory*.  The
+  parent enqueues task files; workers — local subprocesses spawned by the
+  transport, or ``python -m repro.cluster.worker --spool DIR`` processes
+  joining from other hosts/containers over a shared filesystem — claim
+  tasks by atomic rename, heartbeat a lease while executing, and write
+  result files back.
+
+**Lease/heartbeat retry.**  A queue worker that dies (or loses its host)
+mid-task stops refreshing the task's lease; once the lease goes stale the
+parent moves the claim back onto the queue for another worker — or, when no
+live worker remains, executes it inline itself (the parent is always a
+worker of last resort, so a queue run can never deadlock on an empty
+worker set).  Duplicate deliveries this creates are harmless: task results
+are deterministic and the parent consumes exactly one result per task id,
+with the merge layer idempotent on top (:func:`repro.cluster.protocol.min_merge`).
+
+Transport resolution mirrors the backend registry: explicit argument >
+:func:`set_default_transport` (the runner's ``--transport`` flag) >
+``REPRO_TRANSPORT`` environment variable > ``"mp"``.  A queue spool
+directory can be given inline (``queue:/path/to/spool``) or via
+``REPRO_QUEUE_DIR``; ``REPRO_QUEUE_WORKERS`` sizes the locally spawned
+worker set (default: the resolved jobs count for a private spool, ``0``
+when attaching to an external one — its workers are assumed to join from
+outside).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+import uuid
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.protocol import WORKER_ENV_VAR, execute_task, worker_context
+from repro.engine.pool import (
+    CHUNK_TIMEOUT,
+    package_src_dir,
+    resolve_jobs,
+    worker_pool,
+)
+
+#: Environment variable selecting the cluster transport
+#: (``local`` / ``mp`` / ``queue`` / ``queue:<spool dir>``).
+TRANSPORT_ENV_VAR = "REPRO_TRANSPORT"
+
+#: Environment variable naming a queue spool directory to attach to.
+QUEUE_DIR_ENV_VAR = "REPRO_QUEUE_DIR"
+
+#: Environment variable sizing the queue transport's spawned worker set.
+QUEUE_WORKERS_ENV_VAR = "REPRO_QUEUE_WORKERS"
+
+TRANSPORTS = ("local", "mp", "queue")
+
+DEFAULT_TRANSPORT_NAME = "mp"
+
+#: Seconds without a lease heartbeat before a claimed task is re-enqueued.
+DEFAULT_LEASE_TIMEOUT = 15.0
+
+_default_name: Optional[str] = None
+
+
+class TransportError(RuntimeError):
+    """A transport cannot be built or has failed; callers fall back inline."""
+
+
+class TransportTaskError(RuntimeError):
+    """A task raised in its executor; carries the remote traceback text.
+
+    ``task_id`` identifies the failed task so collectors that can retry a
+    single unit inline (the experiment runner's cells) know which one died
+    without abandoning the rest of the batch.
+    """
+
+    def __init__(self, message: str, task_id: Optional[str] = None) -> None:
+        super().__init__(message)
+        self.task_id = task_id
+
+
+class Transport:
+    """Submit/collect interface every transport implements.
+
+    Results may come back in any order and (for the queue transport) more
+    than once per task; consumers must key merges on the returned task id
+    and be idempotent — the protocol layer's merges are.
+    """
+
+    name: str = "?"
+
+    #: Worker processes serving this transport (0 = the parent itself).
+    workers: int = 0
+
+    def submit(self, task: Dict[str, object]) -> str:
+        """Enqueue one task; returns its id."""
+        raise NotImplementedError
+
+    def next_result(self, timeout: float = CHUNK_TIMEOUT) -> Tuple[str, object]:
+        """Block until any outstanding task completes; ``(task_id, payload)``.
+
+        Raises:
+            TimeoutError: no task completed within ``timeout``.
+            TransportTaskError: the task raised inside its executor.
+        """
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release transport resources (idempotent)."""
+
+    # Shared/pooled transports outlive individual runs; per-run transports
+    # are closed by the executor that created them.
+    persistent: bool = False
+
+
+# -- local -------------------------------------------------------------------
+class LocalTransport(Transport):
+    """In-process execution, one task per collect call.
+
+    ``order="lifo"`` collects newest-first — deliberately out-of-order — so
+    tests can prove the merges are arrival-order independent without racing
+    real processes.
+    """
+
+    name = "local"
+
+    def __init__(self, order: str = "fifo") -> None:
+        if order not in ("fifo", "lifo"):
+            raise ValueError(f"unknown order {order!r}; choose fifo or lifo")
+        self._order = order
+        self._pending: "deque[Tuple[str, Dict[str, object]]]" = deque()
+        self._counter = 0
+
+    def submit(self, task: Dict[str, object]) -> str:
+        task_id = f"t{self._counter:06d}"
+        self._counter += 1
+        self._pending.append((task_id, task))
+        return task_id
+
+    def next_result(self, timeout: float = CHUNK_TIMEOUT) -> Tuple[str, object]:
+        if not self._pending:
+            raise TransportError("local transport has no outstanding tasks")
+        task_id, task = (
+            self._pending.popleft() if self._order == "fifo" else self._pending.pop()
+        )
+        with worker_context():
+            return task_id, execute_task(task)
+
+
+# -- mp ----------------------------------------------------------------------
+class MpTransport(Transport):
+    """The shared spawn-pool behind the transport interface.
+
+    Accepts an existing pool (the sharded backend passes the one it resolved
+    itself, keeping its monkeypatchable ``worker_pool`` seam intact) or
+    resolves one from ``jobs``.
+    """
+
+    name = "mp"
+
+    def __init__(self, pool=None, jobs: Optional[int] = None) -> None:
+        if pool is None:
+            jobs = resolve_jobs(jobs)
+            pool = worker_pool(jobs)
+        if pool is None:
+            raise TransportError("worker pool unavailable (jobs<=1 or spawn failed)")
+        self._pool = pool
+        self.workers = jobs or getattr(pool, "_processes", 0) or 0
+        self._inflight: "deque[Tuple[str, object]]" = deque()
+        self._counter = 0
+
+    def submit(self, task: Dict[str, object]) -> str:
+        task_id = f"t{self._counter:06d}"
+        self._counter += 1
+        self._inflight.append((task_id, self._pool.apply_async(execute_task, (task,))))
+        return task_id
+
+    def next_result(self, timeout: float = CHUNK_TIMEOUT) -> Tuple[str, object]:
+        if not self._inflight:
+            raise TransportError("mp transport has no outstanding tasks")
+        task_id, handle = self._inflight.popleft()
+        try:
+            return task_id, handle.get(timeout=timeout)
+        except Exception as err:
+            # Worker-side exceptions and lost tasks surface uniformly so
+            # collectors can retry the one unit inline.
+            raise TransportTaskError(
+                f"task {task_id} failed in pool worker: {err!r}", task_id=task_id
+            ) from err
+
+
+# -- queue -------------------------------------------------------------------
+SPOOL_DIRS = ("tasks", "claimed", "results", "workers")
+STOP_FILE = "stop"
+
+
+def init_spool(spool: str) -> None:
+    """Create the spool directory layout (idempotent)."""
+    for sub in SPOOL_DIRS:
+        os.makedirs(os.path.join(spool, sub), exist_ok=True)
+
+
+def write_atomic(path: str, payload: bytes) -> None:
+    """Write ``payload`` so readers only ever see complete files."""
+    tmp = f"{path}.tmp-{uuid.uuid4().hex[:8]}"
+    with open(tmp, "wb") as handle:
+        handle.write(payload)
+    os.replace(tmp, path)
+
+
+def enqueue_task(spool: str, task_id: str, task: Dict[str, object]) -> None:
+    """Serialise one task onto the spool queue."""
+    payload = pickle.dumps(task, protocol=pickle.HIGHEST_PROTOCOL)
+    write_atomic(os.path.join(spool, "tasks", f"{task_id}.task"), payload)
+
+
+def claim_task(spool: str) -> Optional[Tuple[str, str]]:
+    """Atomically claim the oldest queued task; ``(task_id, claimed_path)``.
+
+    The rename is the mutual-exclusion point: exactly one claimant wins a
+    task file, losers simply move on to the next.
+    """
+    tasks_dir = os.path.join(spool, "tasks")
+    try:
+        names = sorted(n for n in os.listdir(tasks_dir) if n.endswith(".task"))
+    except FileNotFoundError:
+        return None
+    for name in names:
+        source = os.path.join(tasks_dir, name)
+        target = os.path.join(spool, "claimed", name)
+        try:
+            os.replace(source, target)
+        except FileNotFoundError:
+            continue  # someone else won the rename
+        return name[: -len(".task")], target
+    return None
+
+
+def write_result(spool: str, task_id: str, payload: Tuple[str, object]) -> None:
+    """Publish a task outcome — ``("ok", value)`` or ``("error", text)``."""
+    blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    write_atomic(os.path.join(spool, "results", f"{task_id}.result"), blob)
+
+
+def release_claim(spool: str, task_id: str) -> None:
+    """Remove a finished task's claim and lease files."""
+    for name in (f"{task_id}.task", f"{task_id}.lease"):
+        try:
+            os.remove(os.path.join(spool, "claimed", name))
+        except FileNotFoundError:
+            pass
+
+
+def touch(path: str) -> None:
+    """Refresh a heartbeat/lease file's mtime (creating it if needed)."""
+    with open(path, "a"):
+        os.utime(path, None)
+
+
+def refresh(path: str) -> None:
+    """Refresh an *existing* file's mtime; a deleted file stays deleted.
+
+    Heartbeat threads must use this for lease files: racing ``touch``
+    against the release that deletes the lease would resurrect it as a
+    permanent orphan (task ids are never reused, so nothing would ever
+    clean it up).
+    """
+    try:
+        os.utime(path, None)
+    except FileNotFoundError:
+        pass
+
+
+def run_claimed_task(spool: str, task_id: str, claimed_path: str) -> None:
+    """Execute a claimed task file and publish its result (worker core).
+
+    Any task exception is published as an ``("error", ...)`` payload rather
+    than raised: a poisoned task must fail its submitter, not kill the
+    worker or wedge the queue.  A claim file that vanished before it could
+    be read is *not* a task failure — the submitter's lease retry took the
+    task back (this claimant stalled past the lease timeout) and someone
+    else owns it now, so the only correct move is to walk away silently.
+    """
+    import traceback
+
+    try:
+        with open(claimed_path, "rb") as handle:
+            task = pickle.load(handle)
+    except FileNotFoundError:
+        return
+    try:
+        with worker_context():
+            payload = ("ok", execute_task(task))
+    except Exception:
+        payload = ("error", traceback.format_exc())
+    write_result(spool, task_id, payload)
+    release_claim(spool, task_id)
+
+
+class QueueTransport(Transport):
+    """File-backed task queue with lease-based retry of lost tasks.
+
+    Several consumers can share one spool (and its spawned workers) at the
+    same time — during ATPG, the PODEM scheduler and the dropping fault
+    simulator both have tasks in flight: :meth:`channel` hands each
+    consumer its own :class:`QueueChannel` with private submit/collect
+    bookkeeping, so one consumer can never swallow another's results.
+    Using the transport's own ``submit``/``next_result`` directly is the
+    single-consumer convenience path (it delegates to a default channel).
+
+    Args:
+        spool: spool directory to attach to; ``None`` creates a private
+            temporary spool (removed on :meth:`close`).
+        workers: local worker subprocesses to spawn (``None``: the resolved
+            ``jobs`` for a private spool, 0 for an external one).
+        jobs: worker-count fallback used when ``workers`` is ``None``.
+        lease_timeout: seconds without a lease heartbeat before a claimed
+            task is considered lost and re-enqueued.
+        poll_interval: parent/worker poll period.
+        self_drain_after: seconds without progress before the parent starts
+            executing queued tasks itself even though live workers exist
+            (``None``: ``lease_timeout``).  With no live workers the parent
+            drains immediately.
+    """
+
+    name = "queue"
+    persistent = True
+
+    def __init__(
+        self,
+        spool: Optional[str] = None,
+        workers: Optional[int] = None,
+        jobs: Optional[int] = None,
+        lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+        poll_interval: float = 0.02,
+        self_drain_after: Optional[float] = None,
+    ) -> None:
+        jobs = resolve_jobs(jobs)
+        self._owns_spool = spool is None
+        self.spool = spool or tempfile.mkdtemp(prefix="repro-cluster-")
+        init_spool(self.spool)
+        if not self._owns_spool:
+            # A stale stop file in an external spool (a previous operator
+            # shutdown) would make every joining worker exit immediately;
+            # attaching to submit work supersedes it.
+            try:
+                os.remove(os.path.join(self.spool, STOP_FILE))
+            except FileNotFoundError:
+                pass
+        self.lease_timeout = float(lease_timeout)
+        self.poll_interval = float(poll_interval)
+        self.self_drain_after = (
+            float(self_drain_after) if self_drain_after is not None else self.lease_timeout
+        )
+        self._channels = 0
+        self._default_channel: Optional["QueueChannel"] = None
+        self._procs: List[subprocess.Popen] = []
+        self._last_sweep = 0.0
+        self.drained = 0
+        self.closed = False
+        if workers is None:
+            workers = jobs if self._owns_spool else 0
+        self.workers = int(workers)
+        for _ in range(self.workers):
+            self._procs.append(self._spawn_worker())
+
+    def channel(self) -> "QueueChannel":
+        """A private submit/collect view over this spool for one consumer."""
+        self._channels += 1
+        return QueueChannel(self, self._channels)
+
+    @property
+    def _channel(self) -> "QueueChannel":
+        if self._default_channel is None:
+            self._default_channel = self.channel()
+        return self._default_channel
+
+    @property
+    def retries(self) -> int:
+        """Re-enqueued leases observed through the direct-use channel."""
+        return self._channel.retries
+
+    # -- worker management -------------------------------------------------
+    def _spawn_worker(self) -> subprocess.Popen:
+        env = dict(os.environ)
+        src_dir = package_src_dir()
+        parts = env.get("PYTHONPATH", "").split(os.pathsep)
+        if src_dir not in parts:
+            env["PYTHONPATH"] = os.pathsep.join(
+                [src_dir] + [p for p in parts if p]
+            )
+        env[WORKER_ENV_VAR] = "1"
+        return subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cluster.worker",
+                "--spool",
+                self.spool,
+                "--poll",
+                str(max(0.01, self.poll_interval)),
+                "--heartbeat",
+                str(max(0.05, min(1.0, self.lease_timeout / 4))),
+            ],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+
+    def _live_workers(self) -> int:
+        """Workers with a fresh heartbeat file (local or remote).
+
+        Freshly spawned local workers count as live while their process is
+        running even before the first heartbeat lands — python startup takes
+        long enough that the parent would otherwise drain the whole queue
+        itself before any worker gets a chance to claim.
+        """
+        workers_dir = os.path.join(self.spool, "workers")
+        now = time.time()
+        live = 0
+        try:
+            names = os.listdir(workers_dir)
+        except FileNotFoundError:
+            names = []
+        for name in names:
+            try:
+                age = now - os.path.getmtime(os.path.join(workers_dir, name))
+            except FileNotFoundError:
+                continue
+            if age < self.lease_timeout:
+                live += 1
+        if live == 0:
+            live = sum(1 for proc in self._procs if proc.poll() is None)
+        return live
+
+    # -- queue mechanics ----------------------------------------------------
+    def _sweep_orphan_results(self) -> None:
+        """Garbage-collect result files no consumer will ever claim.
+
+        Orphans arise when a run aborts to its inline fallback while tasks
+        are still executing, or when speculative chunks outlive their
+        consumer; on a persistent shared spool they would otherwise
+        accumulate forever.  The TTL is generous — any live consumer polls
+        several orders of magnitude faster — and the sweep runs at most
+        once per lease interval, so steady-state polling stays cheap.
+        """
+        now = time.time()
+        if now - self._last_sweep < self.lease_timeout:
+            return
+        self._last_sweep = now
+        ttl = 10 * self.lease_timeout
+        results_dir = os.path.join(self.spool, "results")
+        try:
+            names = os.listdir(results_dir)
+        except FileNotFoundError:
+            return
+        for name in names:
+            path = os.path.join(results_dir, name)
+            try:
+                if now - os.path.getmtime(path) > ttl:
+                    os.remove(path)
+            except FileNotFoundError:
+                continue
+
+    def _drain_one(self) -> bool:
+        """Execute one queued task in the parent (worker of last resort)."""
+        claimed = claim_task(self.spool)
+        if claimed is None:
+            return False
+        task_id, path = claimed
+        run_claimed_task(self.spool, task_id, path)
+        self.drained += 1
+        return True
+
+    # Direct single-consumer surface (tests, the bench): one default channel.
+    def submit(self, task: Dict[str, object]) -> str:
+        return self._channel.submit(task)
+
+    def next_result(self, timeout: float = CHUNK_TIMEOUT) -> Tuple[str, object]:
+        return self._channel.next_result(timeout=timeout)
+
+    def close(self) -> None:
+        self.closed = True  # sibling channels fail fast instead of polling
+        if self._owns_spool:
+            # Private spool: tell (only) our own workers to exit.  External
+            # spools are operator-managed — their stop file is the
+            # operator's to write, and other parents may still be using it.
+            try:
+                write_atomic(os.path.join(self.spool, STOP_FILE), b"stop\n")
+            except OSError:
+                pass
+        for proc in self._procs:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in self._procs:
+            try:
+                proc.wait(timeout=5)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(timeout=5)
+        self._procs = []
+        if self._owns_spool:
+            shutil.rmtree(self.spool, ignore_errors=True)
+
+
+class QueueChannel(Transport):
+    """One consumer's private submit/collect view over a shared spool.
+
+    Channels share the spool directory, the spawned workers and the drain
+    machinery of their parent :class:`QueueTransport`, but keep their own
+    outstanding/consumed bookkeeping: a channel only ever consumes result
+    files for task ids *it* submitted (ids are uuid-suffixed, so channels
+    can never collide), leaving every other channel's results untouched on
+    disk.  Lease retry is likewise scoped to the channel's own tasks.
+    """
+
+    name = "queue"
+    persistent = True
+
+    def __init__(self, parent: QueueTransport, number: int) -> None:
+        self.parent = parent
+        self._prefix = f"c{number}"
+        self._counter = 0
+        self._outstanding: Dict[str, Dict[str, object]] = {}
+        self._consumed: set = set()
+        self._claim_seen: Dict[str, float] = {}
+        self.retries = 0
+
+    @property
+    def workers(self) -> int:  # type: ignore[override]
+        return self.parent.workers
+
+    @property
+    def spool(self) -> str:
+        return self.parent.spool
+
+    def submit(self, task: Dict[str, object]) -> str:
+        task_id = f"{self._prefix}t{self._counter:06d}-{uuid.uuid4().hex[:6]}"
+        self._counter += 1
+        enqueue_task(self.spool, task_id, task)
+        self._outstanding[task_id] = task
+        return task_id
+
+    def _scan_results(self) -> Optional[Tuple[str, object]]:
+        results_dir = os.path.join(self.spool, "results")
+        try:
+            names = sorted(n for n in os.listdir(results_dir) if n.endswith(".result"))
+        except FileNotFoundError:
+            return None
+        for name in names:
+            task_id = name[: -len(".result")]
+            path = os.path.join(results_dir, name)
+            if task_id not in self._outstanding:
+                if task_id in self._consumed:
+                    # Duplicate delivery (a retried task's first execution
+                    # also finished): clean up our own leftover.
+                    try:
+                        os.remove(path)
+                    except FileNotFoundError:
+                        pass
+                # Another channel's result: not ours to touch.
+                continue
+            try:
+                with open(path, "rb") as handle:
+                    status, value = pickle.load(handle)
+            except (EOFError, pickle.UnpicklingError, FileNotFoundError):
+                continue  # publisher mid-write on a non-atomic filesystem
+            del self._outstanding[task_id]
+            self._consumed.add(task_id)
+            self._claim_seen.pop(task_id, None)
+            try:
+                os.remove(path)
+            except FileNotFoundError:
+                pass
+            if status == "error":
+                raise TransportTaskError(
+                    f"task {task_id} failed remotely:\n{value}", task_id=task_id
+                )
+            return task_id, value
+        return None
+
+    def _requeue_stale_claims(self) -> None:
+        claimed_dir = os.path.join(self.spool, "claimed")
+        now = time.time()
+        try:
+            names = [n for n in os.listdir(claimed_dir) if n.endswith(".task")]
+        except FileNotFoundError:
+            return
+        for name in names:
+            task_id = name[: -len(".task")]
+            if task_id not in self._outstanding:
+                continue
+            lease = os.path.join(claimed_dir, f"{task_id}.lease")
+            try:
+                last_beat = os.path.getmtime(lease)
+            except FileNotFoundError:
+                # Claimed but never leased (claimant died instantly): age it
+                # from when the parent first noticed the claim.
+                last_beat = self._claim_seen.setdefault(task_id, now)
+            if now - last_beat <= self.parent.lease_timeout:
+                continue
+            source = os.path.join(claimed_dir, name)
+            target = os.path.join(self.spool, "tasks", name)
+            try:
+                os.replace(source, target)
+            except FileNotFoundError:
+                continue  # the claimant finished after all
+            try:
+                os.remove(lease)
+            except FileNotFoundError:
+                pass
+            self._claim_seen.pop(task_id, None)
+            self.retries += 1
+
+    def next_result(self, timeout: float = CHUNK_TIMEOUT) -> Tuple[str, object]:
+        if not self._outstanding:
+            raise TransportError("queue transport has no outstanding tasks")
+        parent = self.parent
+        deadline = time.time() + timeout
+        last_progress = time.time()
+        while True:
+            if parent.closed:
+                # A sibling consumer's failure discarded the shared spool;
+                # fail fast so this consumer's inline fallback engages now
+                # instead of after the full collect timeout.
+                raise TransportError("queue transport was closed")
+            found = self._scan_results()
+            if found is not None:
+                return found
+            self._requeue_stale_claims()
+            parent._sweep_orphan_results()
+            now = time.time()
+            if (
+                parent._live_workers() == 0
+                or now - last_progress > parent.self_drain_after
+            ):
+                if parent._drain_one():
+                    continue
+            if now > deadline:
+                raise TimeoutError(
+                    f"no queue result within {timeout:.0f}s "
+                    f"({len(self._outstanding)} outstanding)"
+                )
+            time.sleep(parent.poll_interval)
+
+
+# -- resolution --------------------------------------------------------------
+def default_transport_name() -> str:
+    """The transport spec used when none is requested explicitly."""
+    if _default_name is not None:
+        return _default_name
+    return os.environ.get(TRANSPORT_ENV_VAR, "").strip() or DEFAULT_TRANSPORT_NAME
+
+
+def set_default_transport(spec: Optional[str]) -> Optional[str]:
+    """Set (or with ``None`` clear) the process-wide default transport spec.
+
+    Returns:
+        The previous override, so callers can restore it (the experiment
+        runner's ``--transport`` flag uses this exactly like ``--backend``).
+
+    Raises:
+        ValueError: for unknown transport names.
+    """
+    global _default_name
+    if spec is not None:
+        parse_transport_spec(spec)  # validate eagerly
+    previous = _default_name
+    _default_name = spec
+    return previous
+
+
+def parse_transport_spec(spec: str) -> Tuple[str, Optional[str]]:
+    """Split a transport spec into ``(name, queue_spool_dir)``.
+
+    Raises:
+        ValueError: for names outside :data:`TRANSPORTS`.
+    """
+    name, _, rest = spec.partition(":")
+    name = name.strip()
+    if name not in TRANSPORTS:
+        raise ValueError(f"unknown transport {spec!r}; choose from {TRANSPORTS}")
+    if rest and name != "queue":
+        raise ValueError(f"only the queue transport takes a spool dir, got {spec!r}")
+    spool = rest.strip() or None
+    if name == "queue" and spool is None:
+        spool = os.environ.get(QUEUE_DIR_ENV_VAR, "").strip() or None
+    return name, spool
+
+
+def _queue_workers(owns_spool: bool, jobs: int) -> int:
+    env = os.environ.get(QUEUE_WORKERS_ENV_VAR, "").strip()
+    if env:
+        try:
+            workers = int(env)
+        except ValueError:
+            raise ValueError(
+                f"{QUEUE_WORKERS_ENV_VAR} must be a non-negative integer, got {env!r}"
+            ) from None
+        if workers < 0:
+            raise ValueError(
+                f"{QUEUE_WORKERS_ENV_VAR} must be a non-negative integer, got {env!r}"
+            )
+        return workers
+    return jobs if owns_spool else 0
+
+
+#: (name, spool, workers, jobs) -> shared transport; queue transports spawn
+#: worker processes, so they are reused across runs like the mp pool is.
+_shared: Dict[Tuple, Transport] = {}
+
+
+def resolve_transport(
+    spec: Optional[str] = None, jobs: Optional[int] = None
+) -> Transport:
+    """Build (or reuse) the transport for a spec; see the module docstring.
+
+    Raises:
+        ValueError: for unknown transport names.
+        TransportError: when the transport cannot be built (e.g. the mp
+            pool is unavailable) — callers fall back to inline execution.
+    """
+    name, spool = parse_transport_spec(spec or default_transport_name())
+    jobs = resolve_jobs(jobs)
+    if name == "local":
+        return LocalTransport()
+    if name == "mp":
+        return MpTransport(jobs=jobs)
+    workers = _queue_workers(owns_spool=spool is None, jobs=jobs)
+    key = (name, spool, workers, jobs)
+    shared = _shared.get(key)
+    if shared is None:
+        shared = QueueTransport(spool=spool, workers=workers, jobs=jobs)
+        _shared[key] = shared
+    # Each consumer gets a private channel: during ATPG the PODEM scheduler
+    # and the dropping fault simulator both hold tasks in flight on this
+    # spool concurrently, and must never consume each other's results.
+    return shared.channel()
+
+
+def discard_transport(transport: Transport) -> None:
+    """Drop a failed transport so the next run starts fresh.
+
+    A broken mp transport poisons the shared pool (mirroring the sharded
+    backend's behaviour); a broken queue transport is closed and evicted
+    from the shared set so the next resolution builds a new spool.
+    """
+    if isinstance(transport, MpTransport):
+        from repro.engine.pool import discard_broken_pool
+
+        discard_broken_pool()
+        return
+    if isinstance(transport, QueueChannel):
+        transport = transport.parent
+    for key, value in list(_shared.items()):
+        if value is transport:
+            del _shared[key]
+    try:
+        transport.close()
+    except Exception:
+        pass
+
+
+def shutdown_shared_transports() -> None:
+    """Close every shared transport (registered with :mod:`atexit`)."""
+    for transport in list(_shared.values()):
+        try:
+            transport.close()
+        except Exception:
+            pass
+    _shared.clear()
+
+
+import atexit
+
+atexit.register(shutdown_shared_transports)

@@ -1,0 +1,172 @@
+"""Queue-transport worker: ``python -m repro.cluster.worker --spool DIR``.
+
+A worker attaches to a spool directory (see
+:class:`repro.cluster.transport.QueueTransport`), claims task files by
+atomic rename, executes them through the shared
+:func:`repro.cluster.protocol.execute_task` dispatch, and publishes result
+files.  Run it on any host or container that can see the spool's
+filesystem and import ``repro`` — that is the whole join protocol.
+
+While a task runs, a daemon thread heartbeats both the worker's liveness
+file and the task's lease; a worker that is killed (or whose host
+disappears) simply stops heartbeating, and the submitting parent re-enqueues
+the lease-expired task for someone else.  Task exceptions are published as
+error results, never raised — a poisoned task fails its submitter, not the
+worker.
+
+Exit conditions: the spool's ``stop`` file appears (written by the parent's
+``close()``), the spool directory vanishes, ``--max-tasks`` is reached, or
+``--idle-exit`` seconds pass without any task to claim.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import threading
+import time
+import uuid
+from typing import List, Optional
+
+from repro.cluster.protocol import WORKER_ENV_VAR
+from repro.cluster.transport import (
+    STOP_FILE,
+    claim_task,
+    init_spool,
+    refresh,
+    run_claimed_task,
+    touch,
+)
+
+
+class _Heartbeat(threading.Thread):
+    """Daemon thread refreshing the worker's liveness + current lease files."""
+
+    def __init__(self, interval: float) -> None:
+        super().__init__(daemon=True)
+        self.interval = interval
+        self.paths: List[str] = []
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+
+    def set_paths(self, paths: List[str]) -> None:
+        with self._lock:
+            self.paths = list(paths)
+
+    def beat_once(self) -> None:
+        with self._lock:
+            paths = list(self.paths)
+        for path in paths:
+            try:
+                # Refresh-only: once a lease (or the liveness file) has been
+                # deleted, a late beat must not resurrect it as an orphan.
+                refresh(path)
+            except OSError:
+                pass
+
+    def run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.beat_once()
+
+    def stop(self) -> None:
+        self._stop.set()
+
+
+def serve(
+    spool: str,
+    max_tasks: Optional[int] = None,
+    poll: float = 0.05,
+    heartbeat: float = 1.0,
+    idle_exit: Optional[float] = None,
+) -> int:
+    """Serve tasks from ``spool`` until told to stop; returns tasks executed."""
+    os.environ[WORKER_ENV_VAR] = "1"  # nested simulators must run inline
+    init_spool(spool)
+    worker_id = f"w-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+    liveness = os.path.join(spool, "workers", worker_id)
+    touch(liveness)  # register; the beat thread only refreshes from here on
+    beats = _Heartbeat(heartbeat)
+    beats.set_paths([liveness])
+    beats.start()
+    done = 0
+    idle_since = time.time()
+    try:
+        while True:
+            if os.path.exists(os.path.join(spool, STOP_FILE)):
+                break
+            if not os.path.isdir(os.path.join(spool, "tasks")):
+                break  # spool removed underneath us
+            claimed = claim_task(spool)
+            if claimed is None:
+                if idle_exit is not None and time.time() - idle_since > idle_exit:
+                    break
+                time.sleep(poll)
+                continue
+            task_id, path = claimed
+            lease = os.path.join(spool, "claimed", f"{task_id}.lease")
+            touch(lease)
+            beats.set_paths([liveness, lease])
+            try:
+                run_claimed_task(spool, task_id, path)
+            finally:
+                beats.set_paths([liveness])
+            done += 1
+            idle_since = time.time()
+            if max_tasks is not None and done >= max_tasks:
+                break
+    finally:
+        beats.stop()
+        try:
+            os.remove(liveness)
+        except OSError:
+            pass
+    return done
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the worker's command-line parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cluster.worker",
+        description="Serve repro.cluster queue tasks from a spool directory.",
+    )
+    parser.add_argument("--spool", required=True, help="spool directory to attach to")
+    parser.add_argument(
+        "--max-tasks",
+        type=int,
+        default=None,
+        help="exit after executing this many tasks (default: serve forever)",
+    )
+    parser.add_argument(
+        "--poll", type=float, default=0.05, help="idle poll period in seconds"
+    )
+    parser.add_argument(
+        "--heartbeat",
+        type=float,
+        default=1.0,
+        help="liveness/lease heartbeat period in seconds",
+    )
+    parser.add_argument(
+        "--idle-exit",
+        type=float,
+        default=None,
+        help="exit after this many idle seconds (default: wait for the stop file)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    serve(
+        args.spool,
+        max_tasks=args.max_tasks,
+        poll=args.poll,
+        heartbeat=args.heartbeat,
+        idle_exit=args.idle_exit,
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

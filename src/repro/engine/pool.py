@@ -1,0 +1,196 @@
+"""Worker-count resolution and the shared spawn-safe process pool.
+
+Every multi-process execution path in the package — the sharded fault-sim
+backend, sharded PODEM generation, the experiment runner's parallel cells and
+the cluster executor's ``mp`` transport — sizes itself through the same
+resolution chain (explicit argument > :func:`set_default_jobs` >
+``REPRO_JOBS`` > ``os.cpu_count()``) and shares one lazily created
+spawn-context pool.  Keeping the lifecycle here, below both
+:mod:`repro.engine.sharded` and :mod:`repro.cluster`, lets either layer use
+the pool without importing the other.
+
+The pool is created on first use and shut down cleanly at interpreter exit.
+Whenever a pool cannot be used — ``jobs=1``, running inside a pool worker
+already, spawn failure, workers that cannot import the package — callers
+receive ``None`` and must fall back to in-process execution, so results
+never depend on the environment being pool-friendly.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+from typing import Optional
+
+#: Environment variable sizing the worker pool (``--jobs`` on the runner).
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+#: Seconds to wait for the pool's import smoke test / one chunk result.
+PING_TIMEOUT = 30.0
+CHUNK_TIMEOUT = 600.0
+
+_default_jobs: Optional[int] = None
+
+
+def parse_jobs(value: object, source: str = "jobs") -> int:
+    """Parse a worker count, rejecting anything but an integer >= 1.
+
+    Worker counts reach the pool from several surfaces (``--jobs``,
+    ``REPRO_JOBS``, python callers); validating here gives every one of them
+    the same clear error instead of an opaque traceback deep inside pool
+    construction (or a silent clamp hiding a typo like ``--jobs -4``).
+
+    Args:
+        value: the raw value (string or number).
+        source: label naming the offending surface in the error message.
+
+    Raises:
+        ValueError: for non-integer or non-positive values.
+    """
+    try:
+        jobs = int(str(value).strip())
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"{source} must be a positive integer, got {value!r}"
+        ) from None
+    if jobs < 1:
+        raise ValueError(f"{source} must be a positive integer, got {value!r}")
+    return jobs
+
+
+def default_jobs() -> int:
+    """Worker count used when none is requested explicitly."""
+    if _default_jobs is not None:
+        return _default_jobs
+    env = os.environ.get(JOBS_ENV_VAR, "").strip()
+    if env:
+        return parse_jobs(env, source=JOBS_ENV_VAR)
+    return os.cpu_count() or 1
+
+
+def set_default_jobs(jobs: Optional[int]) -> Optional[int]:
+    """Set (or with ``None`` clear) the process-wide default worker count.
+
+    Returns:
+        The previous override, so callers can restore it (the experiment
+        runner's ``--jobs`` flag uses this exactly like ``--backend`` uses
+        :func:`~repro.engine.backend.set_default_backend`).
+
+    Raises:
+        ValueError: for non-integer or non-positive counts.
+    """
+    global _default_jobs
+    previous = _default_jobs
+    _default_jobs = parse_jobs(jobs) if jobs is not None else None
+    return previous
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Resolve a worker count (explicit arg > default > env > cpu count).
+
+    Raises:
+        ValueError: for non-integer or non-positive explicit counts.
+    """
+    if jobs is not None:
+        return parse_jobs(jobs)
+    return default_jobs()
+
+
+# -- worker pool -------------------------------------------------------------
+_pool = None
+_pool_jobs = 0
+_pool_broken = False
+
+
+def _ping() -> int:
+    """Pool smoke test: proves workers can import this module."""
+    return os.getpid()
+
+
+def package_src_dir() -> str:
+    """Directory that must be on ``sys.path`` for workers to import repro."""
+    import repro
+
+    return os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+def _spawn_main_is_safe() -> bool:
+    """Whether spawned children can re-import the parent's ``__main__``.
+
+    Spawn re-runs the parent's main module in every worker; when that module
+    has a ``__file__`` that is not a real path (``<stdin>``, interactive
+    sessions), every worker dies on startup — detect that here instead of
+    burning the ping timeout on a respawn loop.
+    """
+    import sys
+
+    main_module = sys.modules.get("__main__")
+    main_file = getattr(main_module, "__file__", None)
+    return main_file is None or os.path.exists(main_file)
+
+
+def worker_pool(jobs: int):
+    """The shared spawn-context process pool, or ``None`` for inline mode.
+
+    ``None`` is returned — and callers must fall back to in-process
+    execution — when ``jobs <= 1``, when called from inside a pool worker
+    (never nest pools), or when pool creation failed once already.
+    """
+    global _pool, _pool_jobs, _pool_broken
+    jobs = max(1, int(jobs))
+    if jobs <= 1 or _pool_broken:
+        return None
+    if multiprocessing.parent_process() is not None:
+        return None
+    if _pool is not None and _pool_jobs == jobs:
+        return _pool
+    if not _spawn_main_is_safe():
+        return None
+    shutdown_worker_pool()
+
+    # Spawned children re-import this module from scratch; when the package
+    # is only importable through the parent's sys.path (the usual
+    # ``PYTHONPATH=src`` development setup), export that path to them.
+    previous = os.environ.get("PYTHONPATH")
+    src_dir = package_src_dir()
+    parts = previous.split(os.pathsep) if previous else []
+    if src_dir not in parts:
+        os.environ["PYTHONPATH"] = os.pathsep.join([src_dir] + parts)
+    pool = None
+    try:
+        pool = multiprocessing.get_context("spawn").Pool(processes=jobs)
+        pool.apply_async(_ping).get(timeout=PING_TIMEOUT)
+    except Exception:
+        _pool_broken = True
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+        return None
+    finally:
+        if previous is None:
+            os.environ.pop("PYTHONPATH", None)
+        else:
+            os.environ["PYTHONPATH"] = previous
+    _pool, _pool_jobs = pool, jobs
+    return pool
+
+
+def shutdown_worker_pool() -> None:
+    """Terminate the shared pool (registered with :mod:`atexit`)."""
+    global _pool, _pool_jobs
+    if _pool is not None:
+        _pool.terminate()
+        _pool.join()
+        _pool = None
+        _pool_jobs = 0
+
+
+def discard_broken_pool() -> None:
+    """Drop the pool after a task failure so the next run starts fresh."""
+    global _pool_broken
+    shutdown_worker_pool()
+    _pool_broken = True
+
+
+atexit.register(shutdown_worker_pool)

@@ -7,376 +7,102 @@ lists, cheap to pickle — is shipped to a lazily created, spawn-safe process
 pool, and the fault-grading work is partitioned into dynamic chunks that the
 pool load-balances across workers.
 
-Two sharding strategies cover the two workload shapes:
+Since the cluster subsystem landed, this backend is the *mp-pinned* face of
+the shared distributed-execution machinery: the sharding plan, task
+encoding and deterministic merges live in :mod:`repro.cluster.protocol`,
+the scheduling loop in :mod:`repro.cluster.fault_sim`, and this module
+contributes the spawn-pool transport binding plus the ``"sharded"`` backend
+registration.  The ``cluster`` backend runs the *same* plan over pluggable
+transports (``REPRO_BACKEND=cluster``); results are bit-identical across
+all of them.
+
+Two sharding strategies cover the two workload shapes
+(:func:`~repro.cluster.protocol.plan_chunks` picks one):
 
 * **fault-list chunks** (the default) — the collapsed fault list is split
-  into consecutive chunks sized for ``jobs * chunks_per_worker`` outstanding
-  work units; each worker grades its chunk over the full pattern set with
-  PR 1's block-wise fault dropping intact.  Chunks are disjoint in faults,
-  so the merge is a plain scatter.
-* **pattern-block shards** — for few-faults/many-patterns shapes (e.g. ATPG
-  grading a handful of faults against a large pattern set) the *pattern*
-  axis is sharded instead, aligned to :data:`~repro.engine.fault.DROP_BLOCK_PATTERNS`
+  into consecutive chunks; each worker grades its chunk over the full
+  pattern set with PR 1's block-wise fault dropping intact.  Chunks are
+  disjoint in faults, so the merge is a plain scatter.  Chunk sizes
+  *adapt*: completed chunks report their ``cone_evaluations`` and
+  subsequent chunks are sized to carry constant estimated work rather than
+  constant fault count (:class:`~repro.cluster.protocol.AdaptiveChunker`;
+  force the old equal-count plan with ``REPRO_CHUNK_PLAN=static``).
+* **pattern-block shards** — for few-faults/many-patterns shapes the
+  *pattern* axis is sharded instead, aligned to fault-dropping block
   boundaries.  Every shard grades all faults over its pattern range; the
   parent merges by taking the **minimum** detecting index per fault, which
   is order-independent and therefore deterministic regardless of worker
   scheduling.  Between chunk submissions the parent *broadcasts* already
-  detected faults: a shard starting at pattern ``s`` skips any fault whose
-  merged first-detect index is ``< s`` (such a shard could only contribute a
-  later index, so skipping never changes the minimum) — this is block-wise
-  fault dropping carried across shard boundaries.
+  detected faults so later shards skip them whole.
 
 Both strategies produce detection maps and first-detecting pattern indices
 bit-identical to the ``packed`` and ``naive`` backends (the parity suite in
 ``tests/test_sharded.py`` asserts this), and both grade in either packed
-fault mode: chunk tasks carry a ``fault_mode`` so workers grade on big-int
-lanes or on the vectorised uint64 word table (wide pattern sets), resolved
-once in the parent exactly like :class:`~repro.engine.fault.PackedFaultSimulator`
-resolves it — see :func:`~repro.engine.fault.resolve_fault_mode`.  Work
-counters in ``last_run_stats`` additionally expose ``chunks``, the sharding
-``mode``, the packed ``fault_mode`` and ``shard_dropped_evaluations``
-(faults skipped whole-shard by the broadcast).
+fault mode (big-int lanes or the vectorised uint64 word table), resolved
+once in the parent exactly like
+:class:`~repro.engine.fault.PackedFaultSimulator` resolves it.
 
-The pool is created on first use, sized by (in decreasing precedence) the
-explicit ``jobs`` argument, :func:`set_default_jobs`, the ``REPRO_JOBS``
-environment variable, and ``os.cpu_count()``; it is shut down cleanly at
-interpreter exit.  Whenever a pool cannot be used — ``jobs=1``, running
-inside a pool worker already, spawn failure, workers that cannot import the
-package — the simulator falls back to the in-process packed implementation,
-so results never depend on the environment being pool-friendly.
+The pool lifecycle lives in :mod:`repro.engine.pool`: created on first use,
+sized by ``jobs``/:func:`set_default_jobs`/``REPRO_JOBS``/``os.cpu_count()``,
+shut down at interpreter exit.  Whenever a pool cannot be used — ``jobs=1``,
+running inside a pool worker already, spawn failure, workers that cannot
+import the package — the simulator falls back to the in-process packed
+implementation, so results never depend on the environment being
+pool-friendly.
 """
 
 from __future__ import annotations
 
-import atexit
-import multiprocessing
-import os
-import pickle
-import uuid
-import weakref
-from collections import OrderedDict, deque
-from hashlib import blake2b
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
 from repro.circuit.netlist import Circuit
-from repro.circuit.simulator import check_pattern_matrix
-from repro.cubes.cube import TestSet
-from repro.engine.backend import PackedBackend, available_backends, register_backend
-from repro.engine.compile import CompiledCircuit, compile_circuit
-from repro.engine.fault import (
-    DROP_BLOCK_PATTERNS,
-    WORD_DROP_BLOCK_PATTERNS,
-    FaultSimulationResult,
-    PackedFaultSimulator,
-    _assemble,
-    _new_stats,
-    _unique_faults,
-    _validate_run,
-    fault_mode_uses_words,
-    packed_first_detects,
-    packed_first_detects_words,
-    resolve_fault_mode,
+from repro.cluster.atpg import ClusterPodemScheduler
+from repro.cluster.fault_sim import ClusterFaultSimulator
+from repro.cluster.protocol import (
+    CHUNKS_PER_WORKER,
+    MIN_CHUNK_FAULTS,
+    pickled_program,
 )
-from repro.engine.packed import evaluate_lanes, evaluate_words, pack_lanes, pack_patterns
-from repro.engine.ternary import CompiledTernaryPodem, RawPodemResult
+from repro.cluster.transport import MpTransport, TransportError
+from repro.engine.backend import PackedBackend, available_backends, register_backend
+from repro.engine.compile import CompiledCircuit
+from repro.engine.pool import (
+    CHUNK_TIMEOUT as _CHUNK_TIMEOUT,
+    JOBS_ENV_VAR,
+    default_jobs,
+    discard_broken_pool as _discard_broken_pool,
+    parse_jobs,
+    resolve_jobs,
+    set_default_jobs,
+    shutdown_worker_pool,
+    worker_pool,
+)
 
-#: Environment variable sizing the worker pool (``--jobs`` on the runner).
-JOBS_ENV_VAR = "REPRO_JOBS"
+__all__ = [
+    "CHUNKS_PER_WORKER",
+    "JOBS_ENV_VAR",
+    "MIN_CHUNK_FAULTS",
+    "ShardedBackend",
+    "ShardedFaultSimulator",
+    "ShardedPodemScheduler",
+    "default_jobs",
+    "parse_jobs",
+    "pickled_program",
+    "resolve_jobs",
+    "set_default_jobs",
+    "shutdown_worker_pool",
+    "worker_pool",
+]
 
-#: Target number of work chunks per worker; >1 gives the pool slack to
-#: load-balance chunks whose cones differ wildly in size.
-CHUNKS_PER_WORKER = 4
-
-#: Never make a fault chunk smaller than this (per-task overhead floor).
-MIN_CHUNK_FAULTS = 8
-
-#: Seconds to wait for the pool's import smoke test / one chunk result.
-_PING_TIMEOUT = 30.0
-_CHUNK_TIMEOUT = 600.0
-
-_default_jobs: Optional[int] = None
-
-
-def parse_jobs(value: object, source: str = "jobs") -> int:
-    """Parse a worker count, rejecting anything but an integer >= 1.
-
-    Worker counts reach the pool from several surfaces (``--jobs``,
-    ``REPRO_JOBS``, python callers); validating here gives every one of them
-    the same clear error instead of an opaque traceback deep inside pool
-    construction (or a silent clamp hiding a typo like ``--jobs -4``).
-
-    Args:
-        value: the raw value (string or number).
-        source: label naming the offending surface in the error message.
-
-    Raises:
-        ValueError: for non-integer or non-positive values.
-    """
-    try:
-        jobs = int(str(value).strip())
-    except (TypeError, ValueError):
-        raise ValueError(
-            f"{source} must be a positive integer, got {value!r}"
-        ) from None
-    if jobs < 1:
-        raise ValueError(f"{source} must be a positive integer, got {value!r}")
-    return jobs
-
-
-def default_jobs() -> int:
-    """Worker count used when none is requested explicitly."""
-    if _default_jobs is not None:
-        return _default_jobs
-    env = os.environ.get(JOBS_ENV_VAR, "").strip()
-    if env:
-        return parse_jobs(env, source=JOBS_ENV_VAR)
-    return os.cpu_count() or 1
-
-
-def set_default_jobs(jobs: Optional[int]) -> Optional[int]:
-    """Set (or with ``None`` clear) the process-wide default worker count.
-
-    Returns:
-        The previous override, so callers can restore it (the experiment
-        runner's ``--jobs`` flag uses this exactly like ``--backend`` uses
-        :func:`~repro.engine.backend.set_default_backend`).
-
-    Raises:
-        ValueError: for non-integer or non-positive counts.
-    """
-    global _default_jobs
-    previous = _default_jobs
-    _default_jobs = parse_jobs(jobs) if jobs is not None else None
-    return previous
-
-
-def resolve_jobs(jobs: Optional[int] = None) -> int:
-    """Resolve a worker count (explicit arg > default > env > cpu count).
-
-    Raises:
-        ValueError: for non-integer or non-positive explicit counts.
-    """
-    if jobs is not None:
-        return parse_jobs(jobs)
-    return default_jobs()
-
-
-# -- worker pool -------------------------------------------------------------
-_pool = None
-_pool_jobs = 0
-_pool_broken = False
-
-
-def _ping() -> int:
-    """Pool smoke test: proves workers can import this module."""
-    return os.getpid()
-
-
-def _package_src_dir() -> str:
-    """Directory that must be on ``sys.path`` for workers to import repro."""
-    import repro
-
-    return os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
-
-
-def _spawn_main_is_safe() -> bool:
-    """Whether spawned children can re-import the parent's ``__main__``.
-
-    Spawn re-runs the parent's main module in every worker; when that module
-    has a ``__file__`` that is not a real path (``<stdin>``, interactive
-    sessions), every worker dies on startup — detect that here instead of
-    burning the ping timeout on a respawn loop.
-    """
-    import sys
-
-    main_module = sys.modules.get("__main__")
-    main_file = getattr(main_module, "__file__", None)
-    return main_file is None or os.path.exists(main_file)
-
-
-def worker_pool(jobs: int):
-    """The shared spawn-context process pool, or ``None`` for inline mode.
-
-    ``None`` is returned — and callers must fall back to in-process
-    execution — when ``jobs <= 1``, when called from inside a pool worker
-    (never nest pools), or when pool creation failed once already.
-    """
-    global _pool, _pool_jobs, _pool_broken
-    jobs = max(1, int(jobs))
-    if jobs <= 1 or _pool_broken:
-        return None
-    if multiprocessing.parent_process() is not None:
-        return None
-    if _pool is not None and _pool_jobs == jobs:
-        return _pool
-    if not _spawn_main_is_safe():
-        return None
-    shutdown_worker_pool()
-
-    # Spawned children re-import this module from scratch; when the package
-    # is only importable through the parent's sys.path (the usual
-    # ``PYTHONPATH=src`` development setup), export that path to them.
-    previous = os.environ.get("PYTHONPATH")
-    src_dir = _package_src_dir()
-    parts = previous.split(os.pathsep) if previous else []
-    if src_dir not in parts:
-        os.environ["PYTHONPATH"] = os.pathsep.join([src_dir] + parts)
-    pool = None
-    try:
-        pool = multiprocessing.get_context("spawn").Pool(processes=jobs)
-        pool.apply_async(_ping).get(timeout=_PING_TIMEOUT)
-    except Exception:
-        _pool_broken = True
-        if pool is not None:
-            pool.terminate()
-            pool.join()
-        return None
-    finally:
-        if previous is None:
-            os.environ.pop("PYTHONPATH", None)
-        else:
-            os.environ["PYTHONPATH"] = previous
-    _pool, _pool_jobs = pool, jobs
-    return pool
-
-
-def shutdown_worker_pool() -> None:
-    """Terminate the shared pool (registered with :mod:`atexit`)."""
-    global _pool, _pool_jobs
-    if _pool is not None:
-        _pool.terminate()
-        _pool.join()
-        _pool = None
-        _pool_jobs = 0
-
-
-def _discard_broken_pool() -> None:
-    """Drop the pool after a task failure so the next run starts fresh."""
-    global _pool_broken
-    shutdown_worker_pool()
-    _pool_broken = True
-
-
-atexit.register(shutdown_worker_pool)
-
-
-# -- program shipping --------------------------------------------------------
-#: id(program) -> (weakref, key, pickled bytes); pickling a compiled program
-#: happens once per program, the bytes ride along with every chunk task and
-#: workers unpickle once per (worker, key).
-_blob_cache: Dict[int, Tuple["weakref.ref", str, bytes]] = {}
-
-
-def pickled_program(program: CompiledCircuit) -> Tuple[str, bytes]:
-    """``(key, blob)`` for shipping ``program`` to workers (memoised)."""
-    ident = id(program)
-    entry = _blob_cache.get(ident)
-    if entry is not None:
-        ref, key, blob = entry
-        if ref() is program:
-            return key, blob
-    key = f"{program.name}:{uuid.uuid4().hex}"
-    blob = pickle.dumps(program, protocol=pickle.HIGHEST_PROTOCOL)
-    _blob_cache[ident] = (
-        weakref.ref(program, lambda _ref, _ident=ident: _blob_cache.pop(_ident, None)),
-        key,
-        blob,
-    )
-    return key, blob
-
-
-# -- worker side -------------------------------------------------------------
-_WORKER_CACHE_LIMIT = 8
-_worker_programs: "OrderedDict[str, CompiledCircuit]" = OrderedDict()
-#: (program_key, patterns_key, fault_mode) -> good-machine lanes or word table.
-_worker_good: "OrderedDict[Tuple[str, str, str], object]" = OrderedDict()
-
-
-def _cache_put(cache: OrderedDict, key, value) -> None:
-    cache[key] = value
-    cache.move_to_end(key)
-    while len(cache) > _WORKER_CACHE_LIMIT:
-        cache.popitem(last=False)
-
-
-def _worker_program(key: str, blob: bytes) -> CompiledCircuit:
-    program = _worker_programs.get(key)
-    if program is None:
-        program = pickle.loads(blob)
-        _cache_put(_worker_programs, key, program)
-    return program
-
-
-def _worker_good_machine(
-    program: CompiledCircuit,
-    task: Dict[str, object],
-) -> object:
-    """The cached good machine for a task: big-int lanes or a uint64 table."""
-    fault_mode = task["fault_mode"]
-    cache_key = (task["program_key"], task["patterns_key"], fault_mode)
-    good = _worker_good.get(cache_key)
-    if good is None:
-        n_patterns = task["n_patterns"]
-        if fault_mode == "words":
-            good = evaluate_words(program, task["input_words"], n_patterns)
-        else:
-            mask = (1 << n_patterns) - 1
-            good = evaluate_lanes(program, list(task["input_lanes"]), mask)
-        _cache_put(_worker_good, cache_key, good)
-    return good
-
-
-#: (program_key, backtrack_limit) -> reusable per-worker ternary PODEM engine.
-_worker_podem: "OrderedDict[Tuple[str, int], CompiledTernaryPodem]" = OrderedDict()
-
-
-def _podem_chunk(task: Dict[str, object]) -> List[RawPodemResult]:
-    """Pool task: run compiled PODEM on one chunk of fault sites.
-
-    The engine is cached per (program, backtrack limit); every ``run`` call
-    rebuilds its per-fault state from the cached all-X baseline, so results
-    are independent of how faults are chunked across workers.
-    """
-    program = _worker_program(task["program_key"], task["program_blob"])
-    key = (task["program_key"], task["backtrack_limit"])
-    engine = _worker_podem.get(key)
-    if engine is None:
-        engine = CompiledTernaryPodem(program, backtrack_limit=task["backtrack_limit"])
-        _cache_put(_worker_podem, key, engine)
-    return [
-        engine.run(site, stuck)
-        for site, stuck in zip(task["sites"], task["stuck_values"])
-    ]
-
-
-def _simulate_chunk(task: Dict[str, object]) -> Tuple[List[Optional[int]], Dict[str, int]]:
-    """Pool task: grade one chunk of faults over one pattern range."""
-    program = _worker_program(task["program_key"], task["program_blob"])
-    good = _worker_good_machine(program, task)
-    stats = _new_stats()
-    first_detects = (
-        packed_first_detects_words
-        if task["fault_mode"] == "words"
-        else packed_first_detects
-    )
-    first = first_detects(
-        program,
-        good,
-        task["n_patterns"],
-        task["sites"],
-        task["stuck_values"],
-        block_patterns=task["block_patterns"],
-        drop_detected=task["drop_detected"],
-        pattern_start=task["pattern_start"],
-        pattern_stop=task["pattern_stop"],
-        stats=stats,
-    )
-    return first, stats
-
-
-# -- the simulator -----------------------------------------------------------
-class ShardedFaultSimulator:
+class ShardedFaultSimulator(ClusterFaultSimulator):
     """Multi-process fault simulator over the compiled program.
+
+    The planning/scheduling/merging flow is inherited from
+    :class:`~repro.cluster.fault_sim.ClusterFaultSimulator`; this subclass
+    pins the transport to the shared spawn pool (resolved through this
+    module's :func:`worker_pool`, which tests monkeypatch to force the
+    inline path) and poisons that pool when a run fails, exactly like the
+    PODEM scheduler pair.
 
     Args:
         circuit: circuit under test (compiled here if no ``program`` given).
@@ -392,6 +118,9 @@ class ShardedFaultSimulator:
         mode: packed fault-grading mode (``"auto"``/``"lanes"``/``"words"``)
             applied identically in every worker; ``None`` resolves through
             :func:`~repro.engine.fault.resolve_fault_mode`.
+        chunk_plan: fault-chunk sizing — ``"adaptive"`` (default) sizes
+            chunks from measured cone cost, ``"static"`` forces the fixed
+            equal-count plan; ``None`` resolves through ``REPRO_CHUNK_PLAN``.
     """
 
     def __init__(
@@ -403,244 +132,42 @@ class ShardedFaultSimulator:
         chunks_per_worker: int = CHUNKS_PER_WORKER,
         min_chunk_faults: int = MIN_CHUNK_FAULTS,
         mode: Optional[str] = None,
+        chunk_plan: Optional[str] = None,
     ) -> None:
-        self.circuit = circuit
-        self.jobs = jobs
-        self.mode = resolve_fault_mode(mode)
-        self.block_patterns = (
-            max(1, int(block_patterns)) if block_patterns is not None else None
+        super().__init__(
+            circuit,
+            transport=None,
+            jobs=jobs,
+            block_patterns=block_patterns,
+            program=program,
+            chunks_per_worker=chunks_per_worker,
+            min_chunk_faults=min_chunk_faults,
+            mode=mode,
+            chunk_plan=chunk_plan,
         )
-        self.program = program if program is not None else compile_circuit(circuit)
-        self.chunks_per_worker = max(1, int(chunks_per_worker))
-        self.min_chunk_faults = max(1, int(min_chunk_faults))
-        self._inline: Optional[PackedFaultSimulator] = None
-        self.last_run_stats: Dict[str, object] = self._fresh_stats(1)
 
-    @staticmethod
-    def _fresh_stats(jobs: int) -> Dict[str, object]:
-        stats: Dict[str, object] = _new_stats()
-        stats.update(mode="inline", jobs=jobs, chunks=0, shard_dropped_evaluations=0)
-        return stats
-
-    def _block_patterns_for(self, use_words: bool) -> int:
-        if self.block_patterns is not None:
-            return self.block_patterns
-        return WORD_DROP_BLOCK_PATTERNS if use_words else DROP_BLOCK_PATTERNS
-
-    # -- planning ----------------------------------------------------------
-    def _chunk_plan(
-        self, jobs: int, n_faults: int, n_patterns: int, block_patterns: int
-    ) -> Optional[Tuple[str, List[Tuple[int, int]]]]:
-        """Pick a sharding strategy, or ``None`` when sharding cannot pay."""
-        max_chunks = jobs * self.chunks_per_worker
-        n_blocks = -(-n_patterns // block_patterns)
-        if n_faults < 2 * self.min_chunk_faults:
-            # Too few faults to split the fault axis; shard pattern blocks
-            # instead when there are enough of them to go around.
-            if n_faults and n_blocks >= 4:
-                n_shards = min(max_chunks, n_blocks)
-                blocks_per_shard = -(-n_blocks // n_shards)
-                step = blocks_per_shard * block_patterns
-                shards = [
-                    (start, min(start + step, n_patterns))
-                    for start in range(0, n_patterns, step)
-                ]
-                if len(shards) > 1:
-                    return "pattern-shards", shards
-            return None
-        chunk = max(self.min_chunk_faults, -(-n_faults // max_chunks))
-        chunks = [(lo, min(lo + chunk, n_faults)) for lo in range(0, n_faults, chunk)]
-        if len(chunks) > 1:
-            return "fault-chunks", chunks
-        return None
-
-    # -- execution ---------------------------------------------------------
-    def _run_inline(
-        self,
-        patterns: TestSet,
-        faults: Sequence[object],
-        drop_detected: bool,
-        stats: Dict[str, object],
-    ) -> FaultSimulationResult:
-        if self._inline is None:
-            self._inline = PackedFaultSimulator(
-                self.circuit,
-                block_patterns=self.block_patterns,
-                program=self.program,
-                mode=self.mode,
-            )
-        result = self._inline.run(patterns, faults, drop_detected=drop_detected)
-        for key, value in self._inline.last_run_stats.items():
-            stats[key] = value
-        stats["mode"] = "inline"
-        return result
-
-    def _run_sharded(
-        self,
-        pool,
-        mode: str,
-        chunks: List[Tuple[int, int]],
-        jobs: int,
-        patterns: TestSet,
-        faults: Sequence[object],
-        drop_detected: bool,
-        stats: Dict[str, object],
-        use_words: bool,
-        block_patterns: int,
-    ) -> FaultSimulationResult:
-        program = self.program
-        n_patterns = len(patterns)
-        n_faults = len(faults)
-        matrix = check_pattern_matrix(patterns.matrix, program.n_inputs)
-        patterns_key = blake2b(
-            matrix.tobytes() + repr(matrix.shape).encode(), digest_size=16
-        ).hexdigest()
-        program_key, program_blob = pickled_program(program)
-        sites = [program.row_of(f.net) for f in faults]
-        stuck_values = [1 if f.stuck_value else 0 for f in faults]
-        first: List[Optional[int]] = [None] * n_faults
-        stats["mode"] = mode
-        stats["fault_mode"] = "words" if use_words else "lanes"
-
-        base_task = {
-            "program_key": program_key,
-            "program_blob": program_blob,
-            "patterns_key": patterns_key,
-            "fault_mode": stats["fault_mode"],
-            "n_patterns": n_patterns,
-            "block_patterns": block_patterns,
-            "drop_detected": drop_detected,
-        }
-        # Ship the packed inputs in whichever representation the workers will
-        # grade on; every chunk of one run reuses a single cached good
-        # machine per worker either way.
-        if use_words:
-            base_task["input_words"] = pack_patterns(matrix)
-        else:
-            base_task["input_lanes"] = pack_lanes(matrix)
-
-        def submit(chunk: Tuple[int, int]):
-            if mode == "fault-chunks":
-                lo, hi = chunk
-                positions = list(range(lo, hi))
-                task = dict(
-                    base_task,
-                    sites=sites[lo:hi],
-                    stuck_values=stuck_values[lo:hi],
-                    pattern_start=0,
-                    pattern_stop=n_patterns,
-                )
-            else:
-                start, stop = chunk
-                if drop_detected:
-                    # Broadcast: skip faults already detected strictly before
-                    # this shard's range — they could only re-detect later,
-                    # which never changes the min-merge below.
-                    positions = [
-                        index
-                        for index in range(n_faults)
-                        if first[index] is None or first[index] >= start
-                    ]
-                else:
-                    positions = list(range(n_faults))
-                stats["shard_dropped_evaluations"] += n_faults - len(positions)
-                if not positions:
-                    return positions, None  # whole shard dropped: no task
-                task = dict(
-                    base_task,
-                    sites=[sites[index] for index in positions],
-                    stuck_values=[stuck_values[index] for index in positions],
-                    pattern_start=start,
-                    pattern_stop=stop,
-                )
-            stats["chunks"] += 1
-            return positions, pool.apply_async(_simulate_chunk, (task,))
-
-        max_inflight = jobs + 2
-        inflight = deque()
-        pending = deque(chunks)
-        while pending or inflight:
-            while pending and len(inflight) < max_inflight:
-                positions, handle = submit(pending.popleft())
-                if positions:
-                    inflight.append((positions, handle))
-            if not inflight:
-                break  # every remaining shard was dropped whole
-            positions, handle = inflight.popleft()
-            chunk_first, chunk_stats = handle.get(timeout=_CHUNK_TIMEOUT)
-            for index, found in zip(positions, chunk_first):
-                if found is not None and (first[index] is None or found < first[index]):
-                    first[index] = found
-            for key in ("blocks", "cone_evaluations", "dropped_block_evaluations"):
-                stats[key] += chunk_stats[key]
-        return _assemble(faults, first, n_patterns)
-
-    # -- public API --------------------------------------------------------
-    def run(
-        self,
-        patterns: TestSet,
-        faults: Sequence[object],
-        drop_detected: bool = True,
-    ) -> FaultSimulationResult:
-        """Fault-simulate ``patterns`` against ``faults``.
-
-        Results (detection map, first-detecting indices, fault order) are
-        bit-identical to the ``packed`` and ``naive`` backends; only the
-        execution strategy differs.
-        """
-        jobs = resolve_jobs(self.jobs)
-        stats = self.last_run_stats = self._fresh_stats(jobs)
-        early = _validate_run(patterns, self.program.n_inputs, faults)
-        if early is not None:
-            return early
-        faults = _unique_faults(faults)
-        n_patterns = len(patterns)
-        use_words = fault_mode_uses_words(self.mode, n_patterns)
-        block_patterns = self._block_patterns_for(use_words)
-        plan = (
-            self._chunk_plan(jobs, len(faults), n_patterns, block_patterns)
-            if jobs > 1
-            else None
-        )
-        pool = worker_pool(jobs) if plan is not None else None
+    def _resolve_transport(self, jobs: int) -> MpTransport:
+        pool = worker_pool(jobs)
         if pool is None:
-            return self._run_inline(patterns, faults, drop_detected, stats)
-        mode, chunks = plan
-        try:
-            return self._run_sharded(
-                pool,
-                mode,
-                chunks,
-                jobs,
-                patterns,
-                faults,
-                drop_detected,
-                stats,
-                use_words,
-                block_patterns,
-            )
-        except Exception:
-            # A broken pool (dead workers, import failures, timeouts) must
-            # never cost correctness: drop it and redo the run in process.
-            _discard_broken_pool()
-            return self._run_inline(patterns, faults, drop_detected, stats)
+            raise TransportError("worker pool unavailable (jobs<=1 or spawn failed)")
+        return MpTransport(pool=pool, jobs=jobs)
+
+    def _discard_failed(self, transport) -> None:
+        # A broken pool (dead workers, import failures, timeouts) must
+        # never cost correctness: drop it so the next run starts fresh.
+        _discard_broken_pool()
 
 
-class ShardedPodemScheduler:
+class ShardedPodemScheduler(ClusterPodemScheduler):
     """Prefetches per-fault compiled-PODEM results from the worker pool.
 
-    The ATPG driver walks the collapsed fault list in order, dropping faults
-    that earlier cubes already detect; per-fault PODEM runs are independent
-    and deterministic, so they can be generated speculatively ahead of the
-    merge.  The scheduler ships fault chunks to the shared pool, *broadcasts*
-    drops between submissions (a chunk submitted after a fault was dropped
-    simply omits it — exactly like the fault-sim chunk tasks skip detected
-    faults), and hands results back strictly in fault-list order, so the
-    driver's output is bit-identical to a serial run for any worker count.
-
-    Whenever the pool cannot be used (``jobs=1``, nested workers, spawn
-    failure, a worker dying mid-run) the scheduler degrades to running the
-    same compiled engine inline, result for result.
+    The transport-generic scheduling — chunking, drop broadcasts between
+    submissions, strict fault-order hand-back, inline degradation — lives
+    in :class:`~repro.cluster.atpg.ClusterPodemScheduler`; this subclass
+    pins the transport to the shared spawn pool (resolved through this
+    module's :func:`worker_pool`, which tests monkeypatch to force the
+    inline path) and poisons that pool on failure exactly like the fault
+    simulator does.
 
     Args:
         program: compiled circuit shipped to workers (pickled once).
@@ -652,6 +179,8 @@ class ShardedPodemScheduler:
         chunks_per_worker: chunk-sizing knob, as for fault simulation.
     """
 
+    POOLED_MODE = "sharded"
+
     def __init__(
         self,
         program: CompiledCircuit,
@@ -661,103 +190,23 @@ class ShardedPodemScheduler:
         jobs: Optional[int] = None,
         chunks_per_worker: int = CHUNKS_PER_WORKER,
     ) -> None:
-        self.program = program
-        self.sites = list(sites)
-        self.stuck_values = [1 if value else 0 for value in stuck_values]
-        self.backtrack_limit = int(backtrack_limit)
-        self.jobs = resolve_jobs(jobs)
-        self._engine: Optional[CompiledTernaryPodem] = None
-        self._buffer: Dict[int, RawPodemResult] = {}
-        self._dropped: set = set()
-        self._inflight: deque = deque()
-        self._pending: deque = deque()
-        self.stats: Dict[str, object] = {
-            "mode": "inline",
-            "jobs": self.jobs,
-            "chunks": 0,
-            "dropped_submissions": 0,
-        }
-        n_faults = len(self.sites)
-        self._pool = worker_pool(self.jobs) if n_faults > 1 else None
-        if self._pool is None:
-            return
-        chunk = max(1, -(-n_faults // (self.jobs * max(1, int(chunks_per_worker)))))
-        chunks = [(lo, min(lo + chunk, n_faults)) for lo in range(0, n_faults, chunk)]
-        if len(chunks) <= 1:
-            self._pool = None  # a single chunk gains nothing from shipping
-            return
-        self._pending = deque(chunks)
-        self.stats["mode"] = "sharded"
-        program_key, program_blob = pickled_program(program)
-        self._base_task = {
-            "program_key": program_key,
-            "program_blob": program_blob,
-            "backtrack_limit": self.backtrack_limit,
-        }
+        super().__init__(
+            program,
+            sites,
+            stuck_values,
+            backtrack_limit,
+            jobs=jobs,
+            chunks_per_worker=chunks_per_worker,
+        )
 
-    @property
-    def pooled(self) -> bool:
-        """Whether results are (still) coming from the worker pool."""
-        return self._pool is not None
+    def _make_transport(self, jobs: int):
+        pool = worker_pool(jobs)
+        if pool is None:
+            return None
+        return MpTransport(pool=pool, jobs=jobs)
 
-    def drop(self, index: int) -> None:
-        """Broadcast that the fault at ``index`` no longer needs a cube."""
-        self._dropped.add(index)
-
-    def _run_inline(self, index: int) -> RawPodemResult:
-        if self._engine is None:
-            self._engine = CompiledTernaryPodem(
-                self.program, backtrack_limit=self.backtrack_limit
-            )
-        return self._engine.run(self.sites[index], self.stuck_values[index])
-
-    def _pump(self) -> None:
-        """Submit pending chunks (minus dropped faults) and collect one result."""
-        max_inflight = self.jobs + 1
-        while self._pending and len(self._inflight) < max_inflight:
-            lo, hi = self._pending.popleft()
-            positions = [i for i in range(lo, hi) if i not in self._dropped]
-            self.stats["dropped_submissions"] += (hi - lo) - len(positions)
-            if not positions:
-                continue
-            task = dict(
-                self._base_task,
-                sites=[self.sites[i] for i in positions],
-                stuck_values=[self.stuck_values[i] for i in positions],
-            )
-            self.stats["chunks"] += 1
-            self._inflight.append((positions, self._pool.apply_async(_podem_chunk, (task,))))
-        if not self._inflight:
-            raise RuntimeError("PODEM scheduler has no pending work for the requested fault")
-        positions, handle = self._inflight.popleft()
-        for index, raw in zip(positions, handle.get(timeout=_CHUNK_TIMEOUT)):
-            self._buffer[index] = raw
-
-    def fetch(self, index: int) -> RawPodemResult:
-        """The PODEM result for the fault at ``index`` (blocking).
-
-        The driver fetches in increasing index order and never fetches a
-        dropped fault, so the result is either buffered already or owed by a
-        pending/in-flight chunk.  Any pool failure degrades to the inline
-        engine for this and all later fetches — already-buffered results
-        stay valid because per-fault runs are deterministic.
-        """
-        buffered = self._buffer.pop(index, None)
-        if buffered is not None:
-            return buffered
-        if self._pool is None:
-            return self._run_inline(index)
-        try:
-            while index not in self._buffer:
-                self._pump()
-            return self._buffer.pop(index)
-        except Exception:
-            _discard_broken_pool()
-            self._pool = None
-            self._inflight.clear()
-            self._pending.clear()
-            self.stats["mode"] = "inline"  # visible, like the fault-sim fallback
-            return self._run_inline(index)
+    def _failed(self) -> None:
+        _discard_broken_pool()
 
 
 class ShardedBackend(PackedBackend):

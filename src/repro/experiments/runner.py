@@ -21,6 +21,14 @@ back **in deterministic cell order**, so the report text is byte-identical to
 a serial run.  Any cell that fails in a worker (or a pool that cannot be
 created at all) falls back to in-process execution; parallelism is purely a
 scheduling concern and can never change results.
+
+Under ``--backend cluster`` the same cells become cluster work units and go
+over the resolved transport instead (``--transport`` /
+``REPRO_TRANSPORT``): ``mp`` reproduces the pool behaviour, ``queue``
+spools the cells to ``python -m repro.cluster.worker`` processes that may
+live on other hosts.  The merge stays in deterministic cell order, so the
+report text remains byte-identical for every transport, worker count or
+retried task.
 """
 
 from __future__ import annotations
@@ -31,6 +39,14 @@ import sys
 import time
 from typing import Dict, List, Optional, Tuple
 
+from repro.cluster.protocol import cell_task
+from repro.cluster.transport import (
+    TransportError,
+    TransportTaskError,
+    parse_transport_spec,
+    resolve_transport,
+    set_default_transport,
+)
 from repro.engine.backend import (
     available_backends,
     default_backend_name,
@@ -172,6 +188,60 @@ def _run_all_parallel(
     return results
 
 
+def _run_all_transport(
+    artifacts: List[str], names: Optional[List[str]], seed: int, jobs: int
+) -> Optional[Dict[str, List[TableResult]]]:
+    """Schedule every cell as a cluster work unit; merge in cell order.
+
+    Cells are submitted eagerly (they are independent — no broadcast to
+    respect), collected in whatever order the transport completes them, and
+    merged in the fixed cell order, so the report is byte-identical to a
+    serial run.  A cell whose task fails (poisoned worker, lost lease past
+    the retry budget) is re-run in process; if the transport cannot be
+    built at all, ``None`` lets the caller fall back to the pool path.
+    """
+    try:
+        transport = resolve_transport(None, jobs=jobs)
+    except TransportError:
+        return None
+    resolved = list(names or default_workload_names())
+    backend_name = default_backend_name()
+    submitted: List[Tuple[str, List[Tuple[Cell, str]]]] = []
+    pending = set()
+    for artifact in artifacts:
+        entries = []
+        for cell in _cells_for(artifact, resolved):
+            task_id = transport.submit(cell_task(cell, seed, backend_name))
+            entries.append((cell, task_id))
+            pending.add(task_id)
+        submitted.append((artifact, entries))
+
+    collected: Dict[str, List[TableResult]] = {}
+    while pending:
+        try:
+            task_id, payload = transport.next_result(timeout=_CHUNK_TIMEOUT)
+        except TransportTaskError as err:
+            # One cell died remotely: it alone re-runs inline below.
+            if err.task_id is not None and err.task_id in pending:
+                pending.discard(err.task_id)
+                continue
+            break
+        except Exception:
+            break  # transport gone: every still-pending cell re-runs inline
+        if task_id in pending:
+            pending.discard(task_id)
+            collected[task_id] = payload
+
+    results: Dict[str, List[TableResult]] = {}
+    for artifact, entries in submitted:
+        parts = [
+            collected[task_id] if task_id in collected else _run_cell(cell, seed)
+            for cell, task_id in entries
+        ]
+        results[artifact] = _merge_cells(artifact, parts)
+    return results
+
+
 def run_all(
     artifacts: Optional[List[str]] = None,
     names: Optional[List[str]] = None,
@@ -185,11 +255,17 @@ def run_all(
         names: benchmark names (default benchmark list).
         seed: workload seed.
         jobs: worker processes for the cell scheduler; ``1`` runs serially.
-            Tables are identical either way — parallel cells are merged in
+            Under the cluster backend the cells ride the resolved cluster
+            transport; otherwise they ride the shared process pool.  Tables
+            are identical every way — parallel cells are merged in
             deterministic order.
     """
     selected = list(artifacts or ARTIFACTS)
     if jobs > 1:
+        if default_backend_name() == "cluster":
+            results = _run_all_transport(selected, names, seed, jobs)
+            if results is not None:
+                return results
         pool = worker_pool(jobs)
         if pool is not None:
             return _run_all_parallel(selected, names, seed, pool)
@@ -202,6 +278,15 @@ def _jobs_argument(text: str) -> int:
         return parse_jobs(text, source="--jobs")
     except ValueError as err:
         raise argparse.ArgumentTypeError(err.args[0]) from None
+
+
+def _transport_argument(text: str) -> str:
+    """argparse type for ``--transport``: validate the spec eagerly."""
+    try:
+        parse_transport_spec(text)
+    except ValueError as err:
+        raise argparse.ArgumentTypeError(err.args[0]) from None
+    return text
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -237,6 +322,14 @@ def build_parser() -> argparse.ArgumentParser:
         "generation (default: REPRO_JOBS or 1; report text is byte-identical "
         "to a serial run)",
     )
+    parser.add_argument(
+        "--transport",
+        type=_transport_argument,
+        default=None,
+        help="cluster transport for --backend cluster: local, mp, queue or "
+        "queue:<spool dir> (default: REPRO_TRANSPORT or 'mp'; results and "
+        "report text are identical for every transport)",
+    )
     return parser
 
 
@@ -265,6 +358,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"dpfill-experiments: error: {err.args[0]}", file=sys.stderr)
         return 2
     previous_jobs = set_default_jobs(args.jobs) if args.jobs is not None else None
+    previous_transport = (
+        set_default_transport(args.transport) if args.transport is not None else None
+    )
 
     lines: List[str] = []
     lines.append("DP-fill reproduction - experiment report")
@@ -285,6 +381,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             set_default_backend(previous_backend)
         if args.jobs is not None:
             set_default_jobs(previous_jobs)
+        if args.transport is not None:
+            set_default_transport(previous_transport)
 
     report = "\n".join(lines)
     print(report)
