@@ -29,18 +29,28 @@ Acceptance gates:
   only when the machine actually has 4+ cores (process parallelism cannot
   beat a serial run on fewer), reported informationally otherwise;
 * the ``words`` fault mode must be at least 1.5x faster than ``lanes`` on a
-  >= 4096-pattern profile (single-core SIMD throughput, so always enforced).
+  >= 4096-pattern profile (single-core SIMD throughput, so always enforced);
+* telemetry (``repro.obs``) may cost at most 2% on the largest profile's
+  packed fault kernel — measured with tracing *enabled* vs disabled, which
+  bounds the disabled-mode overhead from above (the disabled path runs a
+  strict subset of the enabled path's work: no-op attribute calls only).
+
+The standalone mode also records a traced pass's per-kernel span breakdown
+in a new ``obs`` section of ``BENCH_engine.json``, and ``--metrics PATH``
+(or ``REPRO_METRICS``) additionally writes that pass as a standalone
+metrics artifact (see ``repro.obs.metrics``).
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
 import subprocess
 import sys
 import time
 from pathlib import Path
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 import pytest
@@ -55,6 +65,8 @@ from repro.engine.fault import PackedFaultSimulator
 from repro.engine.packed import LANE_MODE_MAX_PATTERNS
 from repro.engine.sharded import JOBS_ENV_VAR, parse_jobs, set_default_jobs
 from repro.experiments.workloads import Workload, build_workload, default_workload_names
+from repro.obs import metrics as obs_metrics
+from repro.obs import recorder as obs
 from repro.power.estimator import PowerEstimator
 
 BACKENDS = ["naive", "packed", "sharded"]
@@ -90,6 +102,14 @@ CLUSTER_GATE_SLOWDOWN = 1.5
 #: Transports the standalone cluster sweep times (queue spawns two local
 #: worker processes, exercising the full spool/lease path).
 CLUSTER_TRANSPORTS = ["local", "mp", "queue"]
+
+#: Tracing may cost at most this much on the largest profile's packed fault
+#: kernel, enabled vs disabled (the observability acceptance gate).
+OBS_GATE_OVERHEAD_PCT = 2.0
+#: Best-of repeats for the overhead measurement (the margin is small, so
+#: more repeats than the throughput sweeps use; off/on runs interleave so
+#: machine drift hits both sides equally).
+OBS_OVERHEAD_REPEATS = 9
 
 #: Mirrors ``conftest.bench_names`` (kept local so ``python
 #: benchmarks/bench_engine.py`` works without pytest's conftest loading).
@@ -226,9 +246,10 @@ def _write_json(
     fault_modes: dict,
     atpg: dict,
     cluster: dict,
+    obs_section: dict,
 ) -> None:
     payload = {
-        "schema": 4,
+        "schema": 5,
         "git_sha": _git_sha(),
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "python": sys.version.split()[0],
@@ -241,6 +262,7 @@ def _write_json(
         "fault_modes": fault_modes,
         "atpg": atpg,
         "cluster": cluster,
+        "obs": obs_section,
     }
     BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"\nwrote {BENCH_JSON.resolve()}")
@@ -491,18 +513,129 @@ def _cluster_sweep(jobs: int, largest_row: dict) -> dict:
     }
 
 
-def main() -> int:
+def _obs_sweep(largest_row: dict, metrics_path: Optional[str]) -> dict:
+    """Measure tracing overhead and record a traced per-kernel breakdown.
+
+    The overhead number times the packed fault kernel on the largest
+    profile with tracing enabled vs disabled.  The instrumentation flushes
+    counters once per run — never per inner-loop iteration — so the enabled
+    run bounds the disabled-mode overhead from above: with tracing off the
+    same call sites hit a no-op :class:`~repro.obs.recorder.NullRecorder`,
+    a strict subset of the enabled path's work.
+
+    A dedicated traced pass (fault simulation plus a compiled-PODEM sample)
+    then supplies the per-kernel span breakdown for ``BENCH_engine.json``'s
+    ``obs`` section and, when a path is configured, the standalone metrics
+    artifact.
+    """
+    name = largest_row["circuit"]
+    workload = build_workload(name)
+    circuit = workload.circuit
+    patterns = _filled_patterns(workload)
+    faults = collapse_faults(circuit)
+    program = get_backend("packed").compiled_program(circuit)
+
+    def build() -> Callable[[], object]:
+        simulator = PackedFaultSimulator(circuit, program=program)
+        return lambda: simulator.run(patterns, faults)
+
+    was_enabled = obs.enabled()
+    obs.disable()
+    build()()  # warm every cache before either timing pass
+    # Interleave off/on runs and alternate which side goes first each round:
+    # machine drift over the measurement window then hits both sides equally
+    # instead of biasing whichever consistently ran second.
+    t_disabled = t_enabled = float("inf")
+    for i in range(OBS_OVERHEAD_REPEATS):
+        order = (False, True) if i % 2 == 0 else (True, False)
+        for with_tracing in order:
+            if with_tracing:
+                obs.enable()
+                t_enabled = min(t_enabled, _time_best(build, repeats=1)[0])
+            else:
+                obs.disable()
+                t_disabled = min(t_disabled, _time_best(build, repeats=1)[0])
+    obs.enable()
+    overhead_pct = (t_enabled / t_disabled - 1.0) * 100.0
+
+    # Dedicated traced pass: one fault-simulation run plus a compiled-PODEM
+    # sample, so the span table covers both kernels on the same profile.
+    obs.reset()
+    build()()
+    engine = PodemEngine(
+        circuit, backtrack_limit=ATPG_BENCH_BACKTRACKS, mode="compiled"
+    )
+    for fault in _sampled_faults(circuit):
+        engine.generate(fault)
+    snap = obs.snapshot()
+    written = obs_metrics.maybe_write_metrics(
+        metrics_path,
+        meta={"tool": "bench_engine", "circuit": name, "pass": "traced-breakdown"},
+    )
+    if not was_enabled:
+        obs.disable()
+
+    spans = [
+        {"path": path, "count": row[0], "total_s": row[1], "max_s": row[2]}
+        for path, row in sorted(snap["spans"].items())
+    ]
+    print(
+        f"\ntracing overhead on {name} (packed fault kernel): "
+        f"off {t_disabled * 1000:.1f}ms, on {t_enabled * 1000:.1f}ms "
+        f"({overhead_pct:+.2f}%, gate <= {OBS_GATE_OVERHEAD_PCT:.0f}%)"
+    )
+    header = f"{'span':<40} {'count':>6} {'total (ms)':>11} {'max (ms)':>9}"
+    print(header)
+    print("-" * len(header))
+    for row in spans:
+        print(
+            f"{row['path']:<40} {row['count']:>6} "
+            f"{row['total_s'] * 1000:>11.1f} {row['max_s'] * 1000:>9.1f}"
+        )
+    if written:
+        print(f"metrics written: {written}")
+    return {
+        "circuit": name,
+        "overhead": {
+            "seconds": {"disabled": t_disabled, "enabled": t_enabled},
+            "enabled_overhead_pct": overhead_pct,
+            "gate_pct": OBS_GATE_OVERHEAD_PCT,
+        },
+        "counters": dict(sorted(snap["counters"].items())),
+        "spans": spans,
+        "metrics_path": written,
+    }
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Standalone-mode command-line parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="python benchmarks/bench_engine.py",
+        description="Backend speedup report; writes BENCH_engine.json.",
+    )
+    parser.add_argument(
+        "--metrics",
+        default="",
+        help="also write the traced pass's telemetry as a metrics JSON "
+        "artifact at PATH (default: the REPRO_METRICS environment variable)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
     """Print the backend speedup table; write ``BENCH_engine.json``."""
+    args = build_parser().parse_args(argv)
+    metrics_path = obs_metrics.resolve_metrics_path(args.metrics or None)
     env = os.environ.get(JOBS_ENV_VAR, "").strip()
     jobs = parse_jobs(env, source=JOBS_ENV_VAR) if env else BENCH_JOBS
     previous_jobs = set_default_jobs(jobs)
     try:
-        return _main(jobs)
+        return _main(jobs, metrics_path)
     finally:
         set_default_jobs(previous_jobs)
 
 
-def _main(jobs: int) -> int:
+def _main(jobs: int, metrics_path: Optional[str] = None) -> int:
     names: List[str] = bench_names()
     rows: List[dict] = []
     for name in names:
@@ -583,7 +716,8 @@ def _main(jobs: int) -> int:
     fault_modes = _fault_mode_sweep()
     atpg = _atpg_sweep(jobs)
     cluster = _cluster_sweep(jobs, largest_row)
-    _write_json(rows, jobs, largest, fault_modes, atpg, cluster)
+    obs_section = _obs_sweep(largest_row, metrics_path)
+    _write_json(rows, jobs, largest, fault_modes, atpg, cluster, obs_section)
 
     code = 0
     if packed_speedup < 5.0:
@@ -615,6 +749,12 @@ def _main(jobs: int) -> int:
         print(
             f"WARNING: cluster mp transport more than {CLUSTER_GATE_SLOWDOWN:.1f}x "
             "slower than the sharded backend on the largest profile"
+        )
+        code = 1
+    if obs_section["overhead"]["enabled_overhead_pct"] > OBS_GATE_OVERHEAD_PCT:
+        print(
+            f"WARNING: tracing overhead above the {OBS_GATE_OVERHEAD_PCT:.0f}% "
+            "acceptance threshold on the largest profile's packed fault kernel"
         )
         code = 1
     return code

@@ -40,6 +40,7 @@ from repro.cubes.cube import TestCube
 from repro.engine.backend import SimulationBackend, get_backend
 from repro.engine.compile import compile_circuit
 from repro.engine.ternary import CompiledTernaryPodem, RawPodemResult, resolve_atpg_mode
+from repro.obs import recorder as obs
 
 
 @dataclass
@@ -67,6 +68,29 @@ class PodemResult:
     def detected(self) -> bool:
         """``True`` when a test cube was found."""
         return self.status == "detected"
+
+
+def _flush_podem_telemetry(result: PodemResult) -> None:
+    """Fold one PODEM outcome into the ``podem.*`` obs counters.
+
+    Counters are recorded at the *consumption* point — where a result is
+    handed to the caller — never inside the search itself.  Distributed
+    schedulers prefetch speculatively (a dropped fault may run in a worker
+    yet never be fetched) and stale-lease retries can execute a task twice;
+    counting consumed results keeps ``podem.*`` exactly equal across the
+    single-process, sharded and cluster paths, because all of them consume
+    the same bit-identical per-fault results exactly once.
+    """
+    if not obs.enabled():
+        return
+    obs.add_counters(
+        {
+            "podem.faults": 1,
+            "podem.backtracks": result.backtracks,
+            "podem.decisions": result.decisions,
+            f"podem.status.{result.status}": 1,
+        }
+    )
 
 
 class DictPodemEngine:
@@ -313,12 +337,19 @@ class PodemEngine:
     def generate(self, fault: StuckAtFault) -> PodemResult:
         """Search for a test cube detecting ``fault``."""
         if self.implementation == "dict":
-            return self._impl.generate(fault)
+            with obs.span(f"atpg/{self.circuit.name}/podem"):
+                result = self._impl.generate(fault)
+            _flush_podem_telemetry(result)
+            return result
         site_row = self.program.net_index[fault.net]
-        return self.result_from_raw(fault, self._impl.run(site_row, fault.stuck_value))
+        with obs.span(f"atpg/{self.circuit.name}/podem"):
+            raw = self._impl.run(site_row, fault.stuck_value)
+        return self.result_from_raw(fault, raw)
 
     def result_from_raw(self, fault: StuckAtFault, raw: RawPodemResult) -> PodemResult:
         """Wrap a raw compiled-engine result (e.g. from a pool worker)."""
         status, bits, backtracks, decisions = raw
         cube = TestCube(list(bits), name=fault.name) if status == "detected" else None
-        return PodemResult(fault, status, cube, backtracks, decisions)
+        result = PodemResult(fault, status, cube, backtracks, decisions)
+        _flush_podem_telemetry(result)
+        return result

@@ -21,6 +21,7 @@ deterministic).
 
 from __future__ import annotations
 
+import traceback
 from collections import deque
 from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
@@ -39,6 +40,7 @@ from repro.cluster.transport import (
 from repro.engine.compile import CompiledCircuit
 from repro.engine.pool import CHUNK_TIMEOUT, resolve_jobs
 from repro.engine.ternary import CompiledTernaryPodem, RawPodemResult
+from repro.obs import recorder as obs
 
 
 class ClusterPodemScheduler:
@@ -180,7 +182,19 @@ class ClusterPodemScheduler:
             while index not in self._buffer:
                 self._pump()
             return self._buffer.pop(index)
-        except Exception:
+        except Exception as err:
+            # Degrade visibly: the cause (task id, transport, traceback)
+            # goes to the event log before the inline engine takes over.
+            obs.event(
+                "transport_failed",
+                transport=getattr(err, "transport", None)
+                or getattr(self._transport, "name", None),
+                task_id=getattr(err, "task_id", None),
+                consumer="podem_scheduler",
+                fallback="inline",
+                error=repr(err),
+                traceback=traceback.format_exc(),
+            )
             self._failed()
             self._transport = None
             self._inflight.clear()

@@ -17,6 +17,7 @@ tasks.
 
 from __future__ import annotations
 
+import traceback
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.circuit.netlist import Circuit
@@ -55,6 +56,7 @@ from repro.engine.fault import (
     resolve_fault_mode,
 )
 from repro.engine.pool import CHUNK_TIMEOUT, resolve_jobs
+from repro.obs import recorder as obs
 
 
 def _chunk_units(chunker: AdaptiveChunker) -> Iterator[Tuple[int, int]]:
@@ -320,30 +322,57 @@ class ClusterFaultSimulator:
         stuck_values = [1 if f.stuck_value else 0 for f in faults]
         retries_before = getattr(transport, "retries", 0)
         try:
-            first = run_fault_plan(
-                transport,
-                self.program,
-                plan,
-                patterns,
-                sites,
-                stuck_values,
-                use_words,
-                block_patterns,
-                drop_detected,
-                stats,
-                chunker=self._make_chunker(plan, len(faults)),
-                # Size the submission window from the jobs count, not the
-                # transport's local worker tally — an external queue spool
-                # reports 0 local workers while remote ones serve it.
-                max_inflight=max(2, jobs + 2),
-            )
-        except Exception:
+            with obs.span(f"fault_sim/{self.program.name}/schedule"):
+                first = run_fault_plan(
+                    transport,
+                    self.program,
+                    plan,
+                    patterns,
+                    sites,
+                    stuck_values,
+                    use_words,
+                    block_patterns,
+                    drop_detected,
+                    stats,
+                    chunker=self._make_chunker(plan, len(faults)),
+                    # Size the submission window from the jobs count, not the
+                    # transport's local worker tally — an external queue spool
+                    # reports 0 local workers while remote ones serve it.
+                    max_inflight=max(2, jobs + 2),
+                )
+        except Exception as err:
             # A failed transport must never cost correctness: redo the run
-            # in process (a fresh transport may be resolved next run).
+            # in process (a fresh transport may be resolved next run) — but
+            # the cause must never be swallowed either: the failure goes to
+            # the event log with task id, transport name and traceback
+            # before the inline fallback engages.
+            obs.event(
+                "transport_failed",
+                transport=getattr(err, "transport", None) or transport.name,
+                task_id=getattr(err, "task_id", None),
+                consumer="fault_sim",
+                fallback="inline",
+                error=repr(err),
+                traceback=traceback.format_exc(),
+            )
             self._discard_failed(transport)
             return self._run_inline(patterns, faults, drop_detected, stats)
         stats["transport"] = transport.name
         stats["retries"] = getattr(transport, "retries", 0) - retries_before
         if not transport.persistent and not isinstance(self.transport, Transport):
             transport.close()
-        return _assemble(faults, first, n_patterns)
+        result = _assemble(faults, first, n_patterns)
+        if obs.enabled():
+            # Kernel counters (blocks / cone_evaluations / ...) arrived via
+            # the per-task snapshots the transport absorbed; the parent adds
+            # only the result-level counters, so nothing double-counts.
+            obs.add_counters(
+                {
+                    "fault_sim.runs": 1,
+                    "fault_sim.patterns": result.n_patterns,
+                    "fault_sim.faults": result.detected_count
+                    + len(result.undetected),
+                    "fault_sim.detected": result.detected_count,
+                }
+            )
+        return result

@@ -59,10 +59,15 @@ from repro.engine.packed import (
     pack_patterns,
 )
 from repro.engine.ternary import CompiledTernaryPodem, RawPodemResult
+from repro.obs import recorder as obs
 
 #: Target number of work chunks per worker; >1 gives the pool slack to
 #: load-balance chunks whose cones differ wildly in size.
 CHUNKS_PER_WORKER = 4
+
+#: Key under which a task's captured telemetry snapshot rides in the result
+#: payload envelope (see :func:`execute_task` / :func:`unwrap_payload`).
+OBS_PAYLOAD_KEY = "__repro_obs__"
 
 #: Never make a fault chunk smaller than this (per-task overhead floor).
 MIN_CHUNK_FAULTS = 8
@@ -185,11 +190,12 @@ def _worker_good_machine(
     good = _worker_good.get(cache_key)
     if good is None:
         n_patterns = task["n_patterns"]
-        if fault_mode == "words":
-            good = evaluate_words(program, task["input_words"], n_patterns)
-        else:
-            mask = (1 << n_patterns) - 1
-            good = evaluate_lanes(program, list(task["input_lanes"]), mask)
+        with obs.span(f"logic_sim/{program.name}/{fault_mode}"):
+            if fault_mode == "words":
+                good = evaluate_words(program, task["input_words"], n_patterns)
+            else:
+                mask = (1 << n_patterns) - 1
+                good = evaluate_lanes(program, list(task["input_lanes"]), mask)
         _cache_put(_worker_good, cache_key, good)
     return good
 
@@ -227,6 +233,11 @@ def simulate_base_task(
         base["input_words"] = pack_patterns(matrix)
     else:
         base["input_lanes"] = pack_lanes(matrix)
+    if obs.enabled():
+        # Ask workers to capture telemetry even if they were spawned before
+        # tracing was enabled programmatically (REPRO_TRACE propagates via
+        # the environment; obs.enable() does not).
+        base["obs"] = True
     return base
 
 
@@ -252,12 +263,15 @@ def podem_base_task(
 ) -> Dict[str, object]:
     """The per-run invariants every ``"podem"`` chunk task shares."""
     program_key, program_blob = pickled_program(program)
-    return {
+    base: Dict[str, object] = {
         "kind": "podem",
         "program_key": program_key,
         "program_blob": program_blob,
         "backtrack_limit": backtrack_limit,
     }
+    if obs.enabled():
+        base["obs"] = True
+    return base
 
 
 def podem_task(
@@ -271,7 +285,15 @@ def podem_task(
 
 def cell_task(cell, seed: int, backend_name: str) -> Dict[str, object]:
     """Encode one experiment-runner cell task."""
-    return {"kind": "cell", "cell": cell, "seed": seed, "backend": backend_name}
+    task: Dict[str, object] = {
+        "kind": "cell",
+        "cell": cell,
+        "seed": seed,
+        "backend": backend_name,
+    }
+    if obs.enabled():
+        task["obs"] = True
+    return task
 
 
 # -- task execution ----------------------------------------------------------
@@ -285,18 +307,23 @@ def simulate_chunk(task: Dict[str, object]) -> Tuple[List[Optional[int]], Dict[s
         if task["fault_mode"] == "words"
         else packed_first_detects
     )
-    first = first_detects(
-        program,
-        good,
-        task["n_patterns"],
-        task["sites"],
-        task["stuck_values"],
-        block_patterns=task["block_patterns"],
-        drop_detected=task["drop_detected"],
-        pattern_start=task["pattern_start"],
-        pattern_stop=task["pattern_stop"],
-        stats=stats,
-    )
+    with obs.span(f"fault_sim/{program.name}/{task['fault_mode']}/grade"):
+        first = first_detects(
+            program,
+            good,
+            task["n_patterns"],
+            task["sites"],
+            task["stuck_values"],
+            block_patterns=task["block_patterns"],
+            drop_detected=task["drop_detected"],
+            pattern_start=task["pattern_start"],
+            pattern_stop=task["pattern_stop"],
+            stats=stats,
+        )
+    # Kernel counters flush per chunk into the task's captured snapshot
+    # (the parent absorbs snapshots deduped by task id); the parent-side
+    # simulators flush only result-level counters, so nothing double-counts.
+    obs.add_counters(stats, prefix="fault_sim.")
     return first, stats
 
 
@@ -313,10 +340,11 @@ def podem_chunk(task: Dict[str, object]) -> List[RawPodemResult]:
     if engine is None:
         engine = CompiledTernaryPodem(program, backtrack_limit=task["backtrack_limit"])
         _cache_put(_worker_podem, key, engine)
-    return [
-        engine.run(site, stuck)
-        for site, stuck in zip(task["sites"], task["stuck_values"])
-    ]
+    with obs.span(f"atpg/{program.name}/podem_chunk"):
+        return [
+            engine.run(site, stuck)
+            for site, stuck in zip(task["sites"], task["stuck_values"])
+        ]
 
 
 def run_cell(task: Dict[str, object]):
@@ -353,12 +381,42 @@ _EXECUTORS = {
 
 
 def execute_task(task: Dict[str, object]):
-    """Run one work unit; the single entry point every transport dispatches to."""
+    """Run one work unit; the single entry point every transport dispatches to.
+
+    When telemetry is on — in this process (``obs.enabled()``) or requested
+    by the submitting parent (the task's ``"obs"`` flag) — execution runs
+    inside :class:`repro.obs.recorder.task_capture` and the captured
+    counters/spans/events ride back with the result in an envelope dict
+    (:data:`OBS_PAYLOAD_KEY`).  Transports strip the envelope with
+    :func:`unwrap_payload`, which also merges the snapshot into the parent
+    recorder exactly once per task id.
+    """
     try:
         runner = _EXECUTORS[task["kind"]]
     except KeyError:
         raise ValueError(f"unknown task kind {task.get('kind')!r}") from None
-    return runner(task)
+    if not (task.get("obs") or obs.enabled()):
+        return runner(task)
+    capture = obs.task_capture()
+    with capture:
+        payload = runner(task)
+    return {OBS_PAYLOAD_KEY: capture.snapshot(), "payload": payload}
+
+
+def unwrap_payload(task_id: object, payload: object) -> object:
+    """Strip a telemetry envelope from one result payload.
+
+    Absorbs the captured snapshot into the active recorder — deduped by
+    task id, so re-delivered queue results and stale-lease re-executions
+    can never double-count — and returns the bare payload.  Payloads
+    without an envelope (tracing off, pre-telemetry workers) pass through
+    untouched; envelopes from tracing-enabled workers are stripped even
+    when the parent traces nothing (the null recorder drops the snapshot).
+    """
+    if isinstance(payload, dict) and OBS_PAYLOAD_KEY in payload:
+        obs.absorb_task(task_id, payload[OBS_PAYLOAD_KEY])
+        return payload["payload"]
+    return payload
 
 
 # -- planning ----------------------------------------------------------------

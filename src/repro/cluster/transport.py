@@ -49,7 +49,13 @@ import uuid
 from collections import deque
 from typing import Dict, List, Optional, Tuple
 
-from repro.cluster.protocol import WORKER_ENV_VAR, execute_task, worker_context
+from repro.cluster.protocol import (
+    WORKER_ENV_VAR,
+    execute_task,
+    unwrap_payload,
+    worker_context,
+)
+from repro.obs import recorder as obs
 from repro.engine.pool import (
     CHUNK_TIMEOUT,
     package_src_dir,
@@ -86,12 +92,20 @@ class TransportTaskError(RuntimeError):
 
     ``task_id`` identifies the failed task so collectors that can retry a
     single unit inline (the experiment runner's cells) know which one died
-    without abandoning the rest of the batch.
+    without abandoning the rest of the batch; ``transport`` names the
+    transport that surfaced the failure so fallback handlers can attach
+    both to their failure events instead of swallowing the cause.
     """
 
-    def __init__(self, message: str, task_id: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        message: str,
+        task_id: Optional[str] = None,
+        transport: Optional[str] = None,
+    ) -> None:
         super().__init__(message)
         self.task_id = task_id
+        self.transport = transport
 
 
 class Transport:
@@ -159,7 +173,8 @@ class LocalTransport(Transport):
             self._pending.popleft() if self._order == "fifo" else self._pending.pop()
         )
         with worker_context():
-            return task_id, execute_task(task)
+            payload = execute_task(task)
+        return task_id, unwrap_payload(task_id, payload)
 
 
 # -- mp ----------------------------------------------------------------------
@@ -195,18 +210,44 @@ class MpTransport(Transport):
             raise TransportError("mp transport has no outstanding tasks")
         task_id, handle = self._inflight.popleft()
         try:
-            return task_id, handle.get(timeout=timeout)
+            payload = handle.get(timeout=timeout)
         except Exception as err:
             # Worker-side exceptions and lost tasks surface uniformly so
-            # collectors can retry the one unit inline.
+            # collectors can retry the one unit inline.  multiprocessing
+            # chains the worker-side traceback as a RemoteTraceback cause;
+            # carry its text instead of throwing the cause away.
+            cause = getattr(err, "__cause__", None)
+            remote = (
+                f"\n{cause}" if type(cause).__name__ == "RemoteTraceback" else ""
+            )
+            obs.event(
+                "task_failed",
+                transport=self.name,
+                task_id=task_id,
+                error=repr(err),
+                traceback=str(cause) if remote else None,
+            )
             raise TransportTaskError(
-                f"task {task_id} failed in pool worker: {err!r}", task_id=task_id
+                f"task {task_id} failed in pool worker: {err!r}{remote}",
+                task_id=task_id,
+                transport=self.name,
             ) from err
+        return task_id, unwrap_payload(task_id, payload)
 
 
 # -- queue -------------------------------------------------------------------
-SPOOL_DIRS = ("tasks", "claimed", "results", "workers")
+SPOOL_DIRS = ("tasks", "claimed", "results", "workers", "events")
 STOP_FILE = "stop"
+
+
+def spool_events_dir(spool: str) -> str:
+    """The spool subdirectory holding per-process JSONL event logs.
+
+    Workers append their lifecycle events (joined, claimed, done, failed,
+    exited) here — one ``*.jsonl`` file per process — giving a durable,
+    distributed event log that survives the workers themselves.
+    """
+    return os.path.join(spool, "events")
 
 
 def init_spool(spool: str) -> None:
@@ -308,6 +349,13 @@ def run_claimed_task(spool: str, task_id: str, claimed_path: str) -> None:
             payload = ("ok", execute_task(task))
     except Exception:
         payload = ("error", traceback.format_exc())
+        obs.event(
+            "task_failed",
+            transport="queue",
+            task_id=task_id,
+            pid=os.getpid(),
+            traceback=payload[1],
+        )
     write_result(spool, task_id, payload)
     release_claim(spool, task_id)
 
@@ -405,7 +453,12 @@ class QueueTransport(Transport):
                 [src_dir] + [p for p in parts if p]
             )
         env[WORKER_ENV_VAR] = "1"
-        return subprocess.Popen(
+        if obs.enabled():
+            # Propagate programmatic obs.enable() to freshly spawned queue
+            # workers; REPRO_TRACE=1 in the environment passes through on
+            # its own.
+            env[obs.TRACE_ENV_VAR] = "1"
+        proc = subprocess.Popen(
             [
                 sys.executable,
                 "-m",
@@ -421,6 +474,10 @@ class QueueTransport(Transport):
             stdout=subprocess.DEVNULL,
             stderr=subprocess.DEVNULL,
         )
+        obs.event(
+            "worker_spawned", transport="queue", pid=proc.pid, spool=self.spool
+        )
+        return proc
 
     def _live_workers(self) -> int:
         """Workers with a fresh heartbeat file (local or remote).
@@ -483,6 +540,7 @@ class QueueTransport(Transport):
         if claimed is None:
             return False
         task_id, path = claimed
+        obs.event("parent_drain", transport="queue", task_id=task_id)
         run_claimed_task(self.spool, task_id, path)
         self.drained += 1
         return True
@@ -569,6 +627,11 @@ class QueueChannel(Transport):
                 if task_id in self._consumed:
                     # Duplicate delivery (a retried task's first execution
                     # also finished): clean up our own leftover.
+                    obs.event(
+                        "duplicate_result_dropped",
+                        transport="queue",
+                        task_id=task_id,
+                    )
                     try:
                         os.remove(path)
                     except FileNotFoundError:
@@ -588,10 +651,18 @@ class QueueChannel(Transport):
             except FileNotFoundError:
                 pass
             if status == "error":
-                raise TransportTaskError(
-                    f"task {task_id} failed remotely:\n{value}", task_id=task_id
+                obs.event(
+                    "task_failed",
+                    transport="queue",
+                    task_id=task_id,
+                    traceback=value,
                 )
-            return task_id, value
+                raise TransportTaskError(
+                    f"task {task_id} failed remotely:\n{value}",
+                    task_id=task_id,
+                    transport="queue",
+                )
+            return task_id, unwrap_payload(task_id, value)
         return None
 
     def _requeue_stale_claims(self) -> None:
@@ -614,6 +685,12 @@ class QueueChannel(Transport):
                 last_beat = self._claim_seen.setdefault(task_id, now)
             if now - last_beat <= self.parent.lease_timeout:
                 continue
+            obs.event(
+                "lease_expired",
+                transport="queue",
+                task_id=task_id,
+                stale_s=round(now - last_beat, 3),
+            )
             source = os.path.join(claimed_dir, name)
             target = os.path.join(self.spool, "tasks", name)
             try:
@@ -626,6 +703,7 @@ class QueueChannel(Transport):
                 pass
             self._claim_seen.pop(task_id, None)
             self.retries += 1
+            obs.event("task_retried", transport="queue", task_id=task_id)
 
     def next_result(self, timeout: float = CHUNK_TIMEOUT) -> Tuple[str, object]:
         if not self._outstanding:

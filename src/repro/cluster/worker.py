@@ -17,6 +17,14 @@ worker.
 Exit conditions: the spool's ``stop`` file appears (written by the parent's
 ``close()``), the spool directory vanishes, ``--max-tasks`` is reached, or
 ``--idle-exit`` seconds pass without any task to claim.
+
+With tracing on (``REPRO_TRACE=1`` — the queue transport propagates it to
+the workers it spawns), every lifecycle decision — join, claim, done,
+failure, exit — is appended as a JSON line to
+``<spool>/events/<worker id>.jsonl``, so the distributed event log survives
+the worker itself: after a ``SIGKILL`` the last line of the dead worker's
+file is the claim it never finished, and the parent's ``lease_expired`` /
+``task_retried`` events point at the same task id.
 """
 
 from __future__ import annotations
@@ -36,8 +44,10 @@ from repro.cluster.transport import (
     init_spool,
     refresh,
     run_claimed_task,
+    spool_events_dir,
     touch,
 )
+from repro.obs import recorder as obs
 
 
 class _Heartbeat(threading.Thread):
@@ -85,25 +95,36 @@ def serve(
     init_spool(spool)
     worker_id = f"w-{os.getpid()}-{uuid.uuid4().hex[:6]}"
     liveness = os.path.join(spool, "workers", worker_id)
+    if obs.enabled():
+        # Durable distributed event log: one JSONL file per worker in the
+        # spool, appended on every lifecycle decision.  Survives the worker
+        # (and its SIGKILL), unlike the in-memory recorder.
+        obs.set_event_file(os.path.join(spool_events_dir(spool), f"{worker_id}.jsonl"))
+    obs.event("worker_joined", worker=worker_id, spool=spool, pid=os.getpid())
     touch(liveness)  # register; the beat thread only refreshes from here on
     beats = _Heartbeat(heartbeat)
     beats.set_paths([liveness])
     beats.start()
     done = 0
+    exit_reason = "stop"
     idle_since = time.time()
     try:
         while True:
             if os.path.exists(os.path.join(spool, STOP_FILE)):
+                exit_reason = "stop_file"
                 break
             if not os.path.isdir(os.path.join(spool, "tasks")):
+                exit_reason = "spool_vanished"
                 break  # spool removed underneath us
             claimed = claim_task(spool)
             if claimed is None:
                 if idle_exit is not None and time.time() - idle_since > idle_exit:
+                    exit_reason = "idle_exit"
                     break
                 time.sleep(poll)
                 continue
             task_id, path = claimed
+            obs.event("task_claimed", worker=worker_id, task_id=task_id)
             lease = os.path.join(spool, "claimed", f"{task_id}.lease")
             touch(lease)
             beats.set_paths([liveness, lease])
@@ -111,12 +132,17 @@ def serve(
                 run_claimed_task(spool, task_id, path)
             finally:
                 beats.set_paths([liveness])
+            obs.event("task_done", worker=worker_id, task_id=task_id)
             done += 1
             idle_since = time.time()
             if max_tasks is not None and done >= max_tasks:
+                exit_reason = "max_tasks"
                 break
     finally:
         beats.stop()
+        obs.event(
+            "worker_exit", worker=worker_id, reason=exit_reason, tasks_done=done
+        )
         try:
             os.remove(liveness)
         except OSError:

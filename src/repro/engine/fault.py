@@ -55,6 +55,7 @@ from repro.circuit.gates import GateType, evaluate_bool
 from repro.circuit.netlist import Circuit
 from repro.circuit.simulator import LogicSimulator, check_pattern_matrix
 from repro.cubes.cube import TestSet
+from repro.obs import recorder as obs
 from repro.engine.compile import (
     OP_AND,
     OP_BUF,
@@ -151,6 +152,33 @@ def _new_stats() -> Dict[str, int]:
     return {"blocks": 0, "cone_evaluations": 0, "dropped_block_evaluations": 0}
 
 
+def _flush_run_telemetry(
+    stats: Dict[str, int], result: FaultSimulationResult
+) -> None:
+    """Fold one completed run into the ``fault_sim.*`` obs counters.
+
+    Kernels accumulate into plain dicts exactly as before (the hot loops
+    never touch obs); top-level ``run()`` methods flush once per run, so
+    the disabled path costs one predicate and the enabled path a handful
+    of dict merges.  Distributed runs flush kernel stats worker-side per
+    chunk instead (see :func:`repro.cluster.protocol.simulate_chunk`) and
+    only the result-level counters here in the parent, keeping counter
+    totals comparable — and for the scheduling-invariant counters
+    identical — across backends.
+    """
+    if not obs.enabled():
+        return
+    obs.add_counters(stats, prefix="fault_sim.")
+    obs.add_counters(
+        {
+            "fault_sim.runs": 1,
+            "fault_sim.patterns": result.n_patterns,
+            "fault_sim.faults": result.detected_count + len(result.undetected),
+            "fault_sim.detected": result.detected_count,
+        }
+    )
+
+
 def _validate_run(
     patterns: TestSet, n_test_pins: int, faults: Sequence[object]
 ) -> Optional[FaultSimulationResult]:
@@ -227,6 +255,7 @@ class NaiveFaultSimulator:
         self._fanout = circuit.fanout_map()
         self._output_set = set(circuit.combinational_outputs)
         self._cone_cache: Dict[str, List[str]] = {}
+        self._observable_cache: Dict[str, bool] = {}
         self.last_run_stats: Dict[str, int] = _new_stats()
 
     # -- internals ---------------------------------------------------------
@@ -249,6 +278,22 @@ class NaiveFaultSimulator:
         cone = sorted(seen, key=lambda name: self._order_rank.get(name, 0))
         self._cone_cache[net] = cone
         return cone
+
+    def _structurally_observable(self, net: str) -> bool:
+        """Whether ``net`` reaches any observable net (or is one itself).
+
+        Faults on structurally unobservable nets can never be detected, so
+        they are skipped without cone work — the same skip the packed
+        kernels apply (empty ``detect_rows`` and unobservable site), which
+        keeps ``cone_evaluations`` aligned across backends.
+        """
+        cached = self._observable_cache.get(net)
+        if cached is None:
+            cached = net in self._output_set or any(
+                name in self._output_set for name in self._downstream_cone(net)
+            )
+            self._observable_cache[net] = cached
+        return cached
 
     def _simulate_fault_block(
         self,
@@ -290,36 +335,43 @@ class NaiveFaultSimulator:
             return early
         faults = _unique_faults(faults)
         n_patterns = len(patterns)
-        good_values = self._logic.simulate(patterns.matrix)
+        with obs.span(f"logic_sim/{self.circuit.name}/naive"):
+            good_values = self._logic.simulate(patterns.matrix)
         first_detect: List[Optional[int]] = [None] * len(faults)
+        observable = [self._structurally_observable(f.net) for f in faults]
 
         # Blocking only exists to give dropping something to skip; without
         # dropping a single full-width pass avoids the per-block overhead
         # (results are block-size-invariant either way).
         block_size = self.block_patterns if drop_detected else n_patterns
-        for block in _blocks(n_patterns, block_size):
-            stats["blocks"] += 1
-            start, width = block.start, len(block)
-            good_block = {
-                net: arr[start : block.stop] for net, arr in good_values.items()
-            }
-            pending = 0
-            for index, fault in enumerate(faults):
-                if first_detect[index] is not None:
-                    if drop_detected:
-                        stats["dropped_block_evaluations"] += 1
-                        continue
-                stats["cone_evaluations"] += 1
-                detecting = self._simulate_fault_block(fault, good_block, width)
-                hits = np.flatnonzero(detecting)
-                if hits.size:
-                    if first_detect[index] is None:
-                        first_detect[index] = start + int(hits[0])
-                else:
-                    pending += 1
-            if drop_detected and pending == 0:
-                break
-        return _assemble(faults, first_detect, n_patterns)
+        with obs.span(f"fault_sim/{self.circuit.name}/naive/grade"):
+            for block in _blocks(n_patterns, block_size):
+                stats["blocks"] += 1
+                start, width = block.start, len(block)
+                good_block = {
+                    net: arr[start : block.stop] for net, arr in good_values.items()
+                }
+                pending = 0
+                for index, fault in enumerate(faults):
+                    if first_detect[index] is not None:
+                        if drop_detected:
+                            stats["dropped_block_evaluations"] += 1
+                            continue
+                    if not observable[index]:
+                        continue  # structurally unobservable: undetected, no work
+                    stats["cone_evaluations"] += 1
+                    detecting = self._simulate_fault_block(fault, good_block, width)
+                    hits = np.flatnonzero(detecting)
+                    if hits.size:
+                        if first_detect[index] is None:
+                            first_detect[index] = start + int(hits[0])
+                    else:
+                        pending += 1
+                if drop_detected and pending == 0:
+                    break
+        result = _assemble(faults, first_detect, n_patterns)
+        _flush_run_telemetry(stats, result)
+        return result
 
 
 def _lowest_bit(value: int) -> int:
@@ -723,28 +775,36 @@ class PackedFaultSimulator:
         sites: List[Optional[int]] = [program.row_of(f.net) for f in faults]
         stuck_values = [1 if f.stuck_value else 0 for f in faults]
         if use_words:
-            good_table = evaluate_words(program, pack_patterns(matrix), n_patterns)
-            first_detect = packed_first_detects_words(
-                program,
-                good_table,
-                n_patterns,
-                sites,
-                stuck_values,
-                block_patterns=self._block_patterns_for(True),
-                drop_detected=drop_detected,
-                stats=stats,
-            )
+            with obs.span(f"logic_sim/{program.name}/words"):
+                good_table = evaluate_words(
+                    program, pack_patterns(matrix), n_patterns
+                )
+            with obs.span(f"fault_sim/{program.name}/words/grade"):
+                first_detect = packed_first_detects_words(
+                    program,
+                    good_table,
+                    n_patterns,
+                    sites,
+                    stuck_values,
+                    block_patterns=self._block_patterns_for(True),
+                    drop_detected=drop_detected,
+                    stats=stats,
+                )
         else:
             full_mask = (1 << n_patterns) - 1
-            good = evaluate_lanes(program, pack_lanes(matrix), full_mask)
-            first_detect = packed_first_detects(
-                program,
-                good,
-                n_patterns,
-                sites,
-                stuck_values,
-                block_patterns=self._block_patterns_for(False),
-                drop_detected=drop_detected,
-                stats=stats,
-            )
-        return _assemble(faults, first_detect, n_patterns)
+            with obs.span(f"logic_sim/{program.name}/lanes"):
+                good = evaluate_lanes(program, pack_lanes(matrix), full_mask)
+            with obs.span(f"fault_sim/{program.name}/lanes/grade"):
+                first_detect = packed_first_detects(
+                    program,
+                    good,
+                    n_patterns,
+                    sites,
+                    stuck_values,
+                    block_patterns=self._block_patterns_for(False),
+                    drop_detected=drop_detected,
+                    stats=stats,
+                )
+        result = _assemble(faults, first_detect, n_patterns)
+        _flush_run_telemetry(stats, result)
+        return result

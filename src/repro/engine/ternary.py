@@ -31,6 +31,16 @@ counters are bit-identical; ``tests/test_ternary.py`` asserts this on every
 benchmark profile.  The engine works purely on rows and integers (no
 :mod:`repro.atpg` types), so the sharded backend can ship it to worker
 processes alongside the compiled program.
+
+The ``(backtracks, decisions)`` pair still rides in the raw result tuple —
+it is both the backtrack-limit input and part of the cross-process payload
+— but it is no longer the telemetry channel: :mod:`repro.obs` records the
+``podem.*`` counters at the point a result is *consumed*
+(:meth:`repro.atpg.podem.PodemEngine.result_from_raw`), never here inside
+the search.  Distributed schedulers prefetch speculatively and stale-lease
+retries may run a fault twice, so recording inside ``run()`` would
+double-count; recording at consumption keeps the counters exactly equal
+across the single-process, sharded and cluster paths.
 """
 
 from __future__ import annotations

@@ -39,7 +39,7 @@ import sys
 import time
 from typing import Dict, List, Optional, Tuple
 
-from repro.cluster.protocol import cell_task
+from repro.cluster.protocol import cell_task, unwrap_payload
 from repro.cluster.transport import (
     TransportError,
     TransportTaskError,
@@ -63,6 +63,8 @@ from repro.engine.sharded import (
 from repro.experiments import figure1, figure2, table1, table2, table3, table4, table5, table6
 from repro.experiments.report import TableResult, render_table
 from repro.experiments.workloads import default_workload_names
+from repro.obs import metrics as obs_metrics
+from repro.obs import recorder as obs
 
 ARTIFACTS = ["1", "fig1", "2", "3", "4", "5", "6", "fig2"]
 
@@ -72,6 +74,11 @@ _PER_BENCHMARK_ARTIFACTS = {"1", "2", "3", "4", "5", "6"}
 
 
 def _collect(artifact: str, names: Optional[List[str]], seed: int) -> List[TableResult]:
+    with obs.span(f"runner/{artifact}/collect"):
+        return _collect_impl(artifact, names, seed)
+
+
+def _collect_impl(artifact: str, names: Optional[List[str]], seed: int) -> List[TableResult]:
     if artifact == "1":
         return [table1.run(names, seed=seed)]
     if artifact == "fig1":
@@ -112,19 +119,31 @@ def _cells_for(artifact: str, names: List[str]) -> List[Cell]:
 def _run_cell(cell: Cell, seed: int) -> List[TableResult]:
     """Execute one cell (in a worker or, as fallback, in process)."""
     kind, artifact, names = cell
-    if kind == "fig2ab":
-        return figure2.as_tables(figure2.run(names, seed=seed, panels="ab"))
-    if kind == "fig2c":
-        return figure2.as_tables(figure2.run(names, seed=seed, panels="c"))
-    return _collect(artifact, names, seed)
+    with obs.span(f"runner/{artifact}/{kind}"):
+        if kind == "fig2ab":
+            return figure2.as_tables(figure2.run(names, seed=seed, panels="ab"))
+        if kind == "fig2c":
+            return figure2.as_tables(figure2.run(names, seed=seed, panels="c"))
+        return _collect(artifact, names, seed)
 
 
-def _cell_worker(payload: Tuple[Cell, int, str]) -> List[TableResult]:
-    """Pool task wrapper: pin the worker's backend, then run the cell."""
-    cell, seed, backend_name = payload
+def _cell_worker(payload: Tuple[Cell, int, str, bool]):
+    """Pool task wrapper: pin the worker's backend, then run the cell.
+
+    With tracing requested (the parent's flag, or ``REPRO_TRACE`` inherited
+    by the spawned worker), the cell runs inside a telemetry capture and the
+    snapshot rides back in the same envelope the cluster protocol uses —
+    the parent strips it with :func:`repro.cluster.protocol.unwrap_payload`.
+    """
+    cell, seed, backend_name, trace = payload
     if default_backend_name() != backend_name:
         set_default_backend(backend_name)
-    return _run_cell(cell, seed)
+    if not (trace or obs.enabled()):
+        return _run_cell(cell, seed)
+    capture = obs.task_capture()
+    with capture:
+        result = _run_cell(cell, seed)
+    return {"__repro_obs__": capture.snapshot(), "payload": result}
 
 
 def _merge_cells(artifact: str, parts: List[List[TableResult]]) -> List[TableResult]:
@@ -160,11 +179,19 @@ def _run_all_parallel(
     """Schedule every cell of every artefact on the pool, merge in order."""
     resolved = list(names or default_workload_names())
     backend_name = default_backend_name()
+    trace = obs.enabled()
+    counter = iter(range(1 << 30))
     submitted = [
         (
             artifact,
             [
-                (cell, pool.apply_async(_cell_worker, ((cell, seed, backend_name),)))
+                (
+                    cell,
+                    f"cell-{next(counter):06d}",
+                    pool.apply_async(
+                        _cell_worker, ((cell, seed, backend_name, trace),)
+                    ),
+                )
                 for cell in _cells_for(artifact, resolved)
             ],
         )
@@ -174,12 +201,14 @@ def _run_all_parallel(
     results: Dict[str, List[TableResult]] = {}
     for artifact, cells in submitted:
         parts: List[List[TableResult]] = []
-        for cell, handle in cells:
+        for cell, cell_id, handle in cells:
             try:
                 # The timeout guards against a silently lost task (a worker
                 # killed mid-cell is respawned by the pool but its task
                 # never completes); it lands in the inline fallback below.
-                parts.append(handle.get(timeout=_CHUNK_TIMEOUT))
+                parts.append(
+                    unwrap_payload(cell_id, handle.get(timeout=_CHUNK_TIMEOUT))
+                )
             except Exception:
                 # Worker-side failure (unpicklable custom backend, dead
                 # worker, ...): redo just this cell in process.
@@ -330,6 +359,13 @@ def build_parser() -> argparse.ArgumentParser:
         "queue:<spool dir> (default: REPRO_TRANSPORT or 'mp'; results and "
         "report text are identical for every transport)",
     )
+    parser.add_argument(
+        "--metrics",
+        default="",
+        help="write a telemetry metrics JSON (counters, per-kernel span "
+        "timings, cluster event log) to this path after the run; implies "
+        "tracing for the run (default: REPRO_METRICS if set)",
+    )
     return parser
 
 
@@ -361,6 +397,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     previous_transport = (
         set_default_transport(args.transport) if args.transport is not None else None
     )
+    metrics_path = obs_metrics.resolve_metrics_path(args.metrics or None)
+    enabled_here = False
+    if metrics_path and not obs.enabled():
+        obs.enable()  # --metrics implies tracing for this run
+        enabled_here = True
 
     lines: List[str] = []
     lines.append("DP-fill reproduction - experiment report")
@@ -392,6 +433,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     # Timing is environment-dependent, so it stays out of the report body:
     # the report (stdout above and --out) is byte-identical across --jobs.
     print(f"total runtime: {elapsed:.1f} s ({jobs} job{'s' if jobs != 1 else ''})")
+    if metrics_path:
+        obs_metrics.write_metrics(
+            metrics_path,
+            meta={
+                "tool": "dpfill-experiments",
+                "artifacts": artifacts,
+                "benchmarks": names or default_workload_names(),
+                "jobs": jobs,
+                "seed": args.seed,
+                "elapsed_s": round(elapsed, 3),
+            },
+        )
+        print(f"metrics written: {metrics_path}")
+        if enabled_here:
+            obs.disable()  # restore the process-wide default, like the flags
     return 0
 
 

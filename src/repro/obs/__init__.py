@@ -1,0 +1,62 @@
+"""repro.obs — dependency-free telemetry: counters, spans, event log.
+
+Off by default and near-free when off: a module-level no-op recorder takes
+every call until ``REPRO_TRACE=1`` or :func:`enable` swaps in a real one.
+See :mod:`repro.obs.recorder` for the primitives and the cross-process
+snapshot/absorb protocol, and :mod:`repro.obs.metrics` for the JSON
+artifact written by ``--metrics PATH`` / ``REPRO_METRICS``.
+"""
+
+from repro.obs.metrics import (
+    METRICS_ENV_VAR,
+    METRICS_SCHEMA,
+    maybe_write_metrics,
+    metrics_payload,
+    resolve_metrics_path,
+    write_metrics,
+)
+from repro.obs.recorder import (
+    MAX_EVENTS,
+    NullRecorder,
+    Recorder,
+    TRACE_ENV_VAR,
+    absorb_task,
+    active,
+    add_counters,
+    counter,
+    disable,
+    enable,
+    enabled,
+    event,
+    reset,
+    set_event_file,
+    snapshot,
+    span,
+    task_capture,
+)
+
+__all__ = [
+    "MAX_EVENTS",
+    "METRICS_ENV_VAR",
+    "METRICS_SCHEMA",
+    "NullRecorder",
+    "Recorder",
+    "TRACE_ENV_VAR",
+    "absorb_task",
+    "active",
+    "add_counters",
+    "counter",
+    "disable",
+    "enable",
+    "enabled",
+    "event",
+    "maybe_write_metrics",
+    "metrics_payload",
+    "reset",
+    "resolve_metrics_path",
+    "set_event_file",
+    "snapshot",
+    "span",
+    "task_capture",
+    "write_metrics",
+]

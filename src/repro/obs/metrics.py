@@ -1,0 +1,83 @@
+"""Machine-readable metrics artifacts from the active telemetry recorder.
+
+:func:`write_metrics` serialises the active recorder's snapshot to a JSON
+file — the roofline input the ROADMAP asks for.  The path comes from an
+explicit ``--metrics PATH`` flag or the ``REPRO_METRICS`` environment
+variable (:func:`resolve_metrics_path`).
+
+Schema (``"schema": 1``)::
+
+    {
+      "schema": 1,
+      "enabled": true,              # was tracing on when written?
+      "counters": {"fault_sim.cone_evaluations": 123, ...},
+      "spans": [                    # sorted by path
+        {"path": "fault_sim/b12/words/grade",
+         "count": 4, "total_s": 1.25, "max_s": 0.42},
+        ...
+      ],
+      "events": [{"ts": ..., "kind": "lease_expired", ...}, ...],
+      "meta": {...}                 # caller-provided context (optional)
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Mapping, Optional
+
+from repro.obs import recorder
+
+METRICS_ENV_VAR = "REPRO_METRICS"
+METRICS_SCHEMA = 1
+
+
+def resolve_metrics_path(explicit: Optional[str] = None) -> Optional[str]:
+    """Explicit path if given, else ``REPRO_METRICS``, else ``None``."""
+    if explicit:
+        return explicit
+    env = os.environ.get(METRICS_ENV_VAR, "").strip()
+    return env or None
+
+
+def metrics_payload(meta: Optional[Mapping[str, Any]] = None) -> Dict[str, Any]:
+    snap = recorder.snapshot()
+    spans = [
+        {"path": path, "count": row[0], "total_s": row[1], "max_s": row[2]}
+        for path, row in sorted(snap["spans"].items())
+    ]
+    payload: Dict[str, Any] = {
+        "schema": METRICS_SCHEMA,
+        "enabled": recorder.enabled(),
+        "counters": dict(sorted(snap["counters"].items())),
+        "spans": spans,
+        "events": snap["events"],
+    }
+    if meta:
+        payload["meta"] = dict(meta)
+    return payload
+
+
+def write_metrics(
+    path: str, meta: Optional[Mapping[str, Any]] = None
+) -> Dict[str, Any]:
+    """Write the metrics artifact to ``path``; returns the payload."""
+    payload = metrics_payload(meta)
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return payload
+
+
+def maybe_write_metrics(
+    explicit: Optional[str] = None, meta: Optional[Mapping[str, Any]] = None
+) -> Optional[str]:
+    """Write the artifact if a path resolves; returns the path written."""
+    path = resolve_metrics_path(explicit)
+    if path is None:
+        return None
+    write_metrics(path, meta)
+    return path

@@ -1,0 +1,623 @@
+"""Telemetry tests (``repro.obs``): recorder primitives and counter parity.
+
+The observability contract mirrors the engine's determinism contract: with
+tracing on, the *scheduling-independent* counters — cone evaluations, run /
+pattern / fault / detection totals, PODEM backtracks and decisions — must
+sum to identical values whichever backend executed the run
+(naive / packed / sharded / cluster) and whichever transport carried the
+work units (local / mp / queue), including under injected worker kills,
+stale leases and duplicate deliveries.  Scheduling-dependent counters
+(``fault_sim.blocks``, ``fault_sim.dropped_block_evaluations``) are
+deliberately outside that set.
+
+On top of parity, the suite checks the recorder itself (null/enabled paths,
+span merging, task-snapshot dedupe, the JSONL event file), the metrics
+artifact writer, the runner's ``--metrics`` flag and the queue transport's
+lifecycle event records.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.atpg.collapse import collapse_faults
+from repro.atpg.podem import PodemEngine
+from repro.circuit.generator import CircuitSpec, generate_circuit
+from repro.circuit.library import b01_like_fsm
+from repro.cluster import (
+    ClusterFaultSimulator,
+    LocalTransport,
+    QueueTransport,
+    TransportTaskError,
+)
+from repro.cluster.protocol import execute_task, unwrap_payload, worker_context
+from repro.cluster.transport import (
+    STOP_FILE,
+    claim_task,
+    spool_events_dir,
+    write_atomic,
+)
+from repro.engine import NaiveFaultSimulator, PackedFaultSimulator, get_backend
+from repro.obs import metrics as obs_metrics
+from repro.obs import recorder as obs
+
+
+@pytest.fixture(autouse=True)
+def _clean_recorder():
+    """Every test starts and ends with tracing off (fresh recorder state)."""
+    obs.disable()
+    yield
+    obs.disable()
+
+
+def _medium_circuit():
+    return generate_circuit(CircuitSpec("cluster_med", 10, 12, 300, seed=4))
+
+
+def _patterns(circuit, n=160, seed=1):
+    from repro.cubes.cube import TestSet
+
+    rng = np.random.default_rng(seed)
+    return TestSet.from_matrix(
+        rng.integers(0, 2, size=(n, circuit.n_test_pins)).astype(np.int8)
+    )
+
+
+#: Counters that must be exactly equal across every backend and transport.
+#: Scheduling-dependent ones (blocks, dropped_block_evaluations) are not in
+#: the set — chunk boundaries legitimately change them.
+PARITY_KEYS = (
+    "fault_sim.cone_evaluations",
+    "fault_sim.runs",
+    "fault_sim.patterns",
+    "fault_sim.faults",
+    "fault_sim.detected",
+)
+
+
+def _traced_counters(run):
+    """Counters collected by ``run()`` under a fresh enabled recorder."""
+    obs.disable()
+    obs.enable()
+    run()
+    counters = obs.snapshot()["counters"]
+    obs.disable()
+    return counters
+
+
+def _parity_subset(counters):
+    return {key: counters.get(key) for key in PARITY_KEYS}
+
+
+def _forced_simulator(circuit, **kwargs):
+    kwargs.setdefault("jobs", 2)
+    kwargs.setdefault("min_chunk_faults", 2)
+    kwargs.setdefault("chunks_per_worker", 2)
+    return ClusterFaultSimulator(circuit, **kwargs)
+
+
+# -- recorder primitives -----------------------------------------------------
+class TestRecorder:
+    def test_disabled_is_noop(self):
+        assert not obs.enabled()
+        obs.counter("x", 5)
+        obs.event("boom", detail="ignored")
+        with obs.span("a/b"):
+            pass
+        assert obs.snapshot() == {"counters": {}, "spans": {}, "events": []}
+
+    def test_null_span_is_shared(self):
+        # The disabled hot path must not allocate per call.
+        assert obs.span("a") is obs.span("b")
+
+    def test_enable_records(self):
+        obs.enable()
+        obs.counter("x")
+        obs.counter("x", 2)
+        obs.event("kind", task_id="t1")
+        with obs.span("fault_sim/c/grade"):
+            pass
+        snap = obs.snapshot()
+        assert snap["counters"]["x"] == 3
+        assert snap["events"][0]["kind"] == "kind"
+        assert snap["events"][0]["task_id"] == "t1"
+        count, total, peak = snap["spans"]["fault_sim/c/grade"]
+        assert count == 1 and total >= 0.0 and peak == total
+
+    def test_add_counters_skips_labels(self):
+        obs.enable()
+        obs.add_counters(
+            {"cone_evaluations": 7, "mode": "words", "pooled": True},
+            prefix="fault_sim.",
+        )
+        counters = obs.snapshot()["counters"]
+        assert counters == {"fault_sim.cone_evaluations": 7}
+
+    def test_span_table_merges_repeats(self):
+        obs.enable()
+        for _ in range(3):
+            with obs.span("k"):
+                pass
+        count, total, peak = obs.snapshot()["spans"]["k"]
+        assert count == 3 and total >= peak >= 0.0
+
+    def test_absorb_task_dedupes_by_task_id(self):
+        obs.enable()
+        snap = {
+            "counters": {"c": 2},
+            "spans": {"s": [1, 0.5, 0.5]},
+            "events": [{"ts": 0.0, "kind": "e"}],
+        }
+        assert obs.absorb_task("t1", snap) is True
+        assert obs.absorb_task("t1", snap) is False  # duplicate delivery
+        assert obs.absorb_task("t2", snap) is True
+        merged = obs.snapshot()
+        assert merged["counters"]["c"] == 4
+        assert merged["spans"]["s"] == [2, 1.0, 0.5]
+        assert len(merged["events"]) == 2
+
+    def test_absorb_empty_snapshot_is_false(self):
+        obs.enable()
+        assert obs.absorb_task("t1", None) is False
+        assert obs.absorb_task("t1", {}) is False
+        # An empty absorb must not consume the task id.
+        assert obs.absorb_task("t1", {"counters": {"c": 1}}) is True
+
+    def test_task_capture_isolates_and_restores(self):
+        outer = obs.enable()
+        obs.counter("outer")
+        capture = obs.task_capture()
+        with capture:
+            obs.counter("inner")
+            nested = obs.task_capture()
+            with nested:
+                obs.counter("deepest")
+            assert obs.active() is not outer
+        assert obs.active() is outer
+        assert capture.snapshot()["counters"] == {"inner": 1}
+        assert nested.snapshot()["counters"] == {"deepest": 1}
+        assert obs.snapshot()["counters"] == {"outer": 1}
+
+    def test_event_cap_counts_drops(self):
+        recorder = obs.enable()
+        for i in range(obs.MAX_EVENTS + 25):
+            recorder.event("e", i=i)
+        snap = obs.snapshot()
+        assert len(snap["events"]) == obs.MAX_EVENTS
+        assert snap["counters"]["obs.events_dropped"] == 25
+
+    def test_event_file_appends_jsonl(self, tmp_path):
+        obs.enable()
+        path = tmp_path / "events" / "w-1.jsonl"
+        path.parent.mkdir()
+        obs.set_event_file(str(path))
+        obs.event("task_claimed", task_id="t1")
+        obs.event("task_done", task_id="t1")
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [line["kind"] for line in lines] == ["task_claimed", "task_done"]
+        assert all(line["task_id"] == "t1" for line in lines)
+
+    def test_event_file_errors_are_swallowed(self, tmp_path):
+        obs.enable()
+        obs.set_event_file(str(tmp_path / "no" / "such" / "dir" / "e.jsonl"))
+        obs.event("kind")  # must not raise
+        assert obs.snapshot()["events"][0]["kind"] == "kind"
+
+
+# -- metrics artifacts -------------------------------------------------------
+class TestMetrics:
+    def test_resolve_path_precedence(self, monkeypatch):
+        monkeypatch.delenv(obs_metrics.METRICS_ENV_VAR, raising=False)
+        assert obs_metrics.resolve_metrics_path(None) is None
+        monkeypatch.setenv(obs_metrics.METRICS_ENV_VAR, "env.json")
+        assert obs_metrics.resolve_metrics_path(None) == "env.json"
+        assert obs_metrics.resolve_metrics_path("cli.json") == "cli.json"
+
+    def test_write_metrics_schema(self, tmp_path):
+        obs.enable()
+        obs.counter("fault_sim.runs")
+        obs.event("lease_expired", task_id="t9")
+        with obs.span("fault_sim/c/grade"):
+            pass
+        path = tmp_path / "sub" / "metrics.json"
+        payload = obs_metrics.write_metrics(str(path), meta={"tool": "test"})
+        on_disk = json.loads(path.read_text())
+        assert on_disk == payload
+        assert on_disk["schema"] == obs_metrics.METRICS_SCHEMA
+        assert on_disk["enabled"] is True
+        assert on_disk["counters"] == {"fault_sim.runs": 1}
+        (span,) = on_disk["spans"]
+        assert span["path"] == "fault_sim/c/grade" and span["count"] == 1
+        assert on_disk["events"][0]["kind"] == "lease_expired"
+        assert on_disk["meta"] == {"tool": "test"}
+
+    def test_maybe_write_without_path_is_noop(self, monkeypatch, tmp_path):
+        monkeypatch.delenv(obs_metrics.METRICS_ENV_VAR, raising=False)
+        assert obs_metrics.maybe_write_metrics(None) is None
+
+
+# -- engine counters ---------------------------------------------------------
+class TestEngineTelemetry:
+    def test_packed_counters_describe_the_run(self):
+        circuit = _medium_circuit()
+        patterns = _patterns(circuit)
+        faults = collapse_faults(circuit)
+        result = PackedFaultSimulator(circuit).run(patterns, faults)
+        counters = _traced_counters(
+            lambda: PackedFaultSimulator(circuit).run(patterns, faults)
+        )
+        assert counters["fault_sim.runs"] == 1
+        assert counters["fault_sim.patterns"] == len(patterns)
+        assert counters["fault_sim.faults"] == len(faults)
+        assert counters["fault_sim.detected"] == result.detected_count
+        assert counters["fault_sim.cone_evaluations"] > 0
+
+    def test_naive_matches_packed(self):
+        circuit = _medium_circuit()
+        patterns = _patterns(circuit)
+        faults = collapse_faults(circuit)
+        packed = _traced_counters(
+            lambda: PackedFaultSimulator(circuit).run(patterns, faults)
+        )
+        naive = _traced_counters(
+            lambda: NaiveFaultSimulator(circuit).run(patterns, faults)
+        )
+        assert _parity_subset(naive) == _parity_subset(packed)
+
+    @pytest.mark.parametrize("fault_mode", ["lanes", "words"])
+    def test_fault_modes_match(self, fault_mode):
+        # cone_evaluations is kernel-granularity-dependent (lanes counts one
+        # per fault x block, the words table one per fault), so it is only
+        # comparable between runs using the same mode; the run totals are
+        # mode-invariant.
+        circuit = _medium_circuit()
+        patterns = _patterns(circuit)
+        faults = collapse_faults(circuit)
+        keys = [key for key in PARITY_KEYS if key != "fault_sim.cone_evaluations"]
+        reference = _traced_counters(
+            lambda: PackedFaultSimulator(circuit).run(patterns, faults)
+        )
+        counters = _traced_counters(
+            lambda: PackedFaultSimulator(circuit, mode=fault_mode).run(
+                patterns, faults
+            )
+        )
+        assert {k: counters.get(k) for k in keys} == {
+            k: reference.get(k) for k in keys
+        }
+        assert counters["fault_sim.cone_evaluations"] > 0
+
+    def test_podem_counters_match_results(self):
+        circuit = b01_like_fsm()
+        faults = collapse_faults(circuit)[:24]
+        engine = PodemEngine(circuit, backtrack_limit=15, mode="compiled")
+        results = [engine.generate(fault) for fault in faults]
+        counters = _traced_counters(
+            lambda: [
+                PodemEngine(circuit, backtrack_limit=15, mode="compiled").generate(
+                    fault
+                )
+                for fault in faults
+            ]
+        )
+        assert counters["podem.faults"] == len(faults)
+        assert counters["podem.backtracks"] == sum(r.backtracks for r in results)
+        assert counters["podem.decisions"] == sum(r.decisions for r in results)
+
+    def test_podem_dict_matches_compiled(self):
+        circuit = b01_like_fsm()
+        faults = collapse_faults(circuit)[:24]
+
+        def run(mode):
+            engine = PodemEngine(circuit, backtrack_limit=15, mode=mode)
+            return lambda: [engine.generate(fault) for fault in faults]
+
+        assert _traced_counters(run("dict")) == _traced_counters(run("compiled"))
+
+    def test_disabled_run_records_nothing(self):
+        circuit = b01_like_fsm()
+        patterns = _patterns(circuit, 64)
+        faults = collapse_faults(circuit)
+        PackedFaultSimulator(circuit).run(patterns, faults)
+        obs.enable()
+        assert obs.snapshot()["counters"] == {}
+
+
+# -- cross-backend / cross-transport parity ----------------------------------
+class TestDistributedTelemetryParity:
+    def _reference(self, circuit, patterns, faults):
+        return _parity_subset(
+            _traced_counters(
+                lambda: PackedFaultSimulator(circuit).run(patterns, faults)
+            )
+        )
+
+    @pytest.mark.parametrize("backend", ["sharded", "cluster"])
+    def test_backend_counters_match_packed(self, backend):
+        circuit = _medium_circuit()
+        patterns = _patterns(circuit)
+        faults = collapse_faults(circuit)
+        reference = self._reference(circuit, patterns, faults)
+        counters = _traced_counters(
+            lambda: get_backend(backend).fault_simulator(circuit).run(patterns, faults)
+        )
+        assert _parity_subset(counters) == reference
+
+    @pytest.mark.parametrize("transport", ["local", "mp"])
+    def test_transport_counters_match_packed(self, transport):
+        circuit = _medium_circuit()
+        patterns = _patterns(circuit)
+        faults = collapse_faults(circuit)
+        reference = self._reference(circuit, patterns, faults)
+        counters = _traced_counters(
+            lambda: _forced_simulator(circuit, transport=transport).run(
+                patterns, faults
+            )
+        )
+        assert _parity_subset(counters) == reference
+
+    def test_queue_counters_match_packed(self):
+        circuit = _medium_circuit()
+        patterns = _patterns(circuit)
+        faults = collapse_faults(circuit)
+        reference = self._reference(circuit, patterns, faults)
+        obs.enable()
+        transport = QueueTransport(
+            workers=2, jobs=2, lease_timeout=5.0, poll_interval=0.01
+        )
+        try:
+            _forced_simulator(circuit, transport=transport).run(patterns, faults)
+            counters = obs.snapshot()["counters"]
+        finally:
+            transport.close()
+        assert _parity_subset(counters) == reference
+
+    def test_duplicate_deliveries_do_not_double_count(self):
+        class EnvelopeDuplicatingTransport(LocalTransport):
+            """Delivers every *raw* result envelope twice — the snapshot
+            rides through ``unwrap_payload`` twice, like a retried queue
+            task whose both executions published."""
+
+            def __init__(self):
+                super().__init__()
+                self._replay = None
+
+            def next_result(self, timeout=30.0):
+                if self._replay is not None:
+                    task_id, payload = self._replay
+                    self._replay = None
+                    return task_id, unwrap_payload(task_id, payload)
+                task_id, task = self._pending.popleft()
+                with worker_context():
+                    payload = execute_task(task)
+                self._replay = (task_id, payload)
+                return task_id, unwrap_payload(task_id, payload)
+
+        circuit = _medium_circuit()
+        patterns = _patterns(circuit)
+        faults = collapse_faults(circuit)
+        reference = self._reference(circuit, patterns, faults)
+        counters = _traced_counters(
+            lambda: _forced_simulator(
+                circuit, transport=EnvelopeDuplicatingTransport()
+            ).run(patterns, faults)
+        )
+        assert _parity_subset(counters) == reference
+
+    def test_worker_kill_counters_stay_exact(self, tmp_path):
+        """SIGKILL a queue worker while the run is in flight; the retried
+        work units must not double-count (task-id dedupe)."""
+        circuit = _medium_circuit()
+        patterns = _patterns(circuit)
+        faults = collapse_faults(circuit)
+        reference = self._reference(circuit, patterns, faults)
+        obs.enable()
+        transport = QueueTransport(
+            spool=str(tmp_path / "spool"),
+            workers=2,
+            jobs=2,
+            lease_timeout=1.0,
+            poll_interval=0.02,
+        )
+        outcome = {}
+
+        def run():
+            outcome["result"] = _forced_simulator(circuit, transport=transport).run(
+                patterns, faults
+            )
+
+        try:
+            thread = threading.Thread(target=run)
+            thread.start()
+            claimed_dir = os.path.join(transport.spool, "claimed")
+            deadline = time.time() + 30.0
+            while time.time() < deadline and not outcome:
+                if any(n.endswith(".task") for n in os.listdir(claimed_dir)):
+                    break
+                time.sleep(0.005)
+            transport._procs[0].kill()
+            thread.join(timeout=60.0)
+            assert not thread.is_alive()
+            counters = obs.snapshot()["counters"]
+        finally:
+            transport.close()
+        reference_result = PackedFaultSimulator(circuit).run(patterns, faults)
+        assert list(reference_result.detected.items()) == list(
+            outcome["result"].detected.items()
+        )
+        assert _parity_subset(counters) == reference
+
+
+# -- queue lifecycle events --------------------------------------------------
+class TestQueueEvents:
+    def test_stale_lease_emits_expiry_and_retry(self, tmp_path):
+        obs.enable()
+        transport = QueueTransport(
+            spool=str(tmp_path / "spool"),
+            workers=0,
+            jobs=2,
+            lease_timeout=0.3,
+            poll_interval=0.01,
+            self_drain_after=0.05,
+        )
+        try:
+            task_id = transport.submit({"kind": "echo", "payload": 42})
+            # A claimant that dies on the spot: claimed, no lease ever beats.
+            claimed = claim_task(transport.spool)
+            assert claimed is not None and claimed[0] == task_id
+            assert transport.next_result(timeout=20.0) == (task_id, 42)
+            assert transport.retries == 1
+        finally:
+            transport.close()
+        kinds = {event["kind"] for event in obs.snapshot()["events"]}
+        assert "lease_expired" in kinds and "task_retried" in kinds
+        for event in obs.snapshot()["events"]:
+            if event["kind"] in ("lease_expired", "task_retried"):
+                assert event["task_id"] == task_id
+
+    def test_poisoned_task_event_carries_traceback(self, tmp_path):
+        obs.enable()
+        transport = QueueTransport(
+            spool=str(tmp_path / "spool"),
+            workers=0,
+            jobs=2,
+            lease_timeout=1.0,
+            poll_interval=0.01,
+            self_drain_after=0.01,
+        )
+        try:
+            task_id = transport.submit({"kind": "no-such-kind"})
+            with pytest.raises(TransportTaskError) as excinfo:
+                transport.next_result(timeout=10.0)
+        finally:
+            transport.close()
+        assert excinfo.value.task_id == task_id
+        assert excinfo.value.transport == "queue"
+        failures = [
+            event
+            for event in obs.snapshot()["events"]
+            if event["kind"] == "task_failed"
+        ]
+        assert failures and failures[0]["task_id"] == task_id
+        assert "no-such-kind" in failures[0]["traceback"]
+
+    def test_transport_failure_event_before_inline_fallback(self):
+        class ExplodingTransport(LocalTransport):
+            def next_result(self, timeout=30.0):
+                raise RuntimeError("transport lost")
+
+        circuit = b01_like_fsm()
+        patterns = _patterns(circuit, 64)
+        faults = collapse_faults(circuit)
+        obs.enable()
+        simulator = _forced_simulator(circuit, transport=ExplodingTransport())
+        simulator.run(patterns, faults)
+        assert simulator.last_run_stats["mode"] == "inline"
+        failures = [
+            event
+            for event in obs.snapshot()["events"]
+            if event["kind"] == "transport_failed"
+        ]
+        assert failures
+        assert failures[0]["consumer"] == "fault_sim"
+        assert failures[0]["fallback"] == "inline"
+        assert "transport lost" in failures[0]["traceback"]
+
+    def test_worker_writes_jsonl_event_log(self, tmp_path):
+        """A spawned queue worker leaves a durable per-worker JSONL log in
+        the spool (tracing propagates via REPRO_TRACE to the subprocess)."""
+        obs.enable()
+        transport = QueueTransport(
+            spool=str(tmp_path / "spool"),
+            workers=1,
+            jobs=1,
+            lease_timeout=5.0,
+            poll_interval=0.02,
+        )
+        try:
+            task_id = transport.submit({"kind": "echo", "payload": "hi"})
+            assert transport.next_result(timeout=30.0) == (task_id, "hi")
+            events_dir = spool_events_dir(transport.spool)
+            # Ask the worker to exit via the stop file (close() SIGTERMs,
+            # which would race the final worker_exit line) and wait for its
+            # clean shutdown before reading the log.
+            write_atomic(os.path.join(transport.spool, STOP_FILE), b"stop\n")
+            deadline = time.time() + 10.0
+            logs = []
+            while time.time() < deadline:
+                logs = [
+                    os.path.join(events_dir, name)
+                    for name in os.listdir(events_dir)
+                    if name.endswith(".jsonl")
+                ]
+                if logs and any(
+                    '"worker_exit"' in open(path, encoding="utf-8").read()
+                    for path in logs
+                ):
+                    break
+                time.sleep(0.05)
+        finally:
+            transport.close()
+        assert logs, "worker left no event log"
+        lines = [
+            json.loads(line)
+            for path in logs
+            for line in open(path, encoding="utf-8").read().splitlines()
+        ]
+        kinds = [line["kind"] for line in lines]
+        assert "worker_joined" in kinds
+        assert "task_claimed" in kinds and "task_done" in kinds
+        assert "worker_exit" in kinds
+        claims = [line for line in lines if line["kind"] == "task_claimed"]
+        assert any(line["task_id"] == task_id for line in claims)
+
+
+# -- runner integration ------------------------------------------------------
+class TestRunnerMetrics:
+    @pytest.fixture()
+    def cold_cubes(self, tmp_path, monkeypatch):
+        """Point the cube cache at an empty dir so the run does real ATPG
+        and fault-sim work (warm caches would leave the counters empty)."""
+        from repro.experiments.workloads import build_workload
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cube-cache"))
+        build_workload.cache_clear()
+        yield
+        build_workload.cache_clear()
+
+    def test_metrics_flag_writes_artifact(self, tmp_path, cold_cubes):
+        from repro.experiments.runner import main
+
+        path = tmp_path / "metrics.json"
+        code = main(
+            ["--artifacts", "1", "--benchmarks", "b01", "--metrics", str(path)]
+        )
+        assert code == 0
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == obs_metrics.METRICS_SCHEMA
+        assert payload["enabled"] is True
+        assert payload["counters"].get("fault_sim.runs", 0) >= 1
+        assert payload["counters"].get("podem.faults", 0) >= 1
+        paths = [span["path"] for span in payload["spans"]]
+        assert any(p.startswith("runner/") for p in paths)
+        assert any(p.startswith("fault_sim/") for p in paths)
+        assert payload["meta"]["tool"] == "dpfill-experiments"
+        # --metrics implied tracing for the run only; it must not leak.
+        assert not obs.enabled()
+
+    def test_env_var_also_writes(self, tmp_path, monkeypatch, cold_cubes):
+        from repro.experiments.runner import main
+
+        path = tmp_path / "env-metrics.json"
+        monkeypatch.setenv(obs_metrics.METRICS_ENV_VAR, str(path))
+        code = main(["--artifacts", "1", "--benchmarks", "b01"])
+        assert code == 0
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == obs_metrics.METRICS_SCHEMA
+        assert payload["counters"].get("fault_sim.runs", 0) >= 1
