@@ -1,0 +1,155 @@
+"""Seeded chaos harness for the cluster runtime.
+
+``REPRO_CHAOS=<seed>:<spec>`` arms a deterministic fault injector inside
+spawned queue workers.  The spec is a comma-separated list of
+``kind=rate`` pairs, e.g.::
+
+    REPRO_CHAOS="7:kill=0.05,corrupt=0.1,dup=0.1"
+
+Supported kinds, each firing at its configured probability per opportunity:
+
+* ``kill``    — the worker process dies (``os._exit``) right after claiming
+  a task, simulating an OOM-kill / preemption mid-lease;
+* ``stall``   — the worker's heartbeat freezes long enough for the parent
+  to expire the lease, then the task completes anyway (slow-worker /
+  duplicate-delivery race);
+* ``corrupt`` — the published result envelope is truncated, exercising the
+  parent's torn-pickle detection;
+* ``dup``     — the result is published but the claim is never released,
+  so lease expiry re-runs the task and the parent sees the result twice;
+* ``enospc``  — the result write fails as if the disk were full (nothing
+  is published, the claim is kept so lease expiry recovers the task).
+
+Decisions are **deterministic**: each is a pure function of
+``(seed, kind, key, occurrence)`` hashed through blake2b, so a failing
+chaos run replays exactly under the same seed — no real randomness, no
+flaky CI.  Injection only engages inside worker processes
+(:func:`worker_injector` checks ``REPRO_CLUSTER_WORKER``), keeping the
+parent's drain loop and the inline fallback path clean so every run can
+still complete correctly.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import defaultdict
+from hashlib import blake2b
+from typing import Dict, Optional, Tuple
+
+#: Environment variable arming the chaos injector (``seed:spec``).
+CHAOS_ENV_VAR = "REPRO_CHAOS"
+
+#: Failure kinds the injector understands.
+CHAOS_KINDS = ("kill", "stall", "corrupt", "dup", "enospc")
+
+
+def parse_chaos_spec(value: str) -> Tuple[int, Dict[str, float]]:
+    """Parse ``"seed:kill=0.05,corrupt=0.1"`` into ``(seed, rates)``.
+
+    Raises:
+        ValueError: for malformed specs, unknown kinds, or rates outside
+            ``[0, 1]`` — misconfigured chaos must fail loudly, not silently
+            run without faults.
+    """
+    text = str(value).strip()
+    seed_part, sep, spec_part = text.partition(":")
+    if not sep:
+        raise ValueError(
+            f"chaos spec must look like 'seed:kind=rate,...', got {value!r}"
+        )
+    try:
+        seed = int(seed_part.strip())
+    except ValueError:
+        raise ValueError(f"chaos seed must be an integer, got {seed_part!r}") from None
+    rates: Dict[str, float] = {}
+    for item in spec_part.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        kind, eq, rate_text = item.partition("=")
+        kind = kind.strip()
+        if not eq or kind not in CHAOS_KINDS:
+            raise ValueError(
+                f"unknown chaos fault {item!r}; kinds are {', '.join(CHAOS_KINDS)}"
+            )
+        try:
+            rate = float(rate_text.strip())
+        except ValueError:
+            raise ValueError(f"chaos rate must be a float, got {rate_text!r}") from None
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"chaos rate must be in [0, 1], got {rate!r}")
+        rates[kind] = rate
+    if not rates:
+        raise ValueError(f"chaos spec names no faults: {value!r}")
+    return seed, rates
+
+
+class ChaosInjector:
+    """Deterministic per-opportunity fault decisions for one seed."""
+
+    def __init__(self, seed: int, rates: Dict[str, float]):
+        self.seed = int(seed)
+        self.rates = dict(rates)
+        self._occurrences: Dict[Tuple[str, str], int] = defaultdict(int)
+
+    def should(self, kind: str, key: str) -> bool:
+        """Decide whether fault ``kind`` fires at this opportunity.
+
+        ``key`` identifies the opportunity site (usually a task id); an
+        occurrence counter distinguishes repeated opportunities at the same
+        site, so a retried task does not deterministically die forever.
+        """
+        rate = self.rates.get(kind, 0.0)
+        if rate <= 0.0:
+            return False
+        occurrence = self._occurrences[(kind, key)]
+        self._occurrences[(kind, key)] += 1
+        digest = blake2b(
+            f"{self.seed}|{kind}|{key}|{occurrence}".encode(), digest_size=8
+        ).digest()
+        draw = int.from_bytes(digest, "big") / float(1 << 64)
+        return draw < rate
+
+    def corrupt_bytes(self, blob: bytes, key: str) -> bytes:
+        """Deterministically truncate a result envelope for ``key``."""
+        if len(blob) <= 1:
+            return b""
+        digest = blake2b(f"{self.seed}|len|{key}".encode(), digest_size=8).digest()
+        keep = 1 + int.from_bytes(digest, "big") % (len(blob) - 1)
+        return blob[:keep]
+
+
+_cached: Tuple[Optional[str], Optional[ChaosInjector]] = (None, None)
+
+
+def env_injector() -> Optional[ChaosInjector]:
+    """The injector configured by ``REPRO_CHAOS``, or ``None`` when unarmed.
+
+    Cached per env-var value so occurrence counters persist across calls
+    within one process; a changed/cleared variable rebuilds or disarms it.
+    """
+    global _cached
+    value = os.environ.get(CHAOS_ENV_VAR, "").strip() or None
+    if value == _cached[0]:
+        return _cached[1]
+    injector = None
+    if value is not None:
+        seed, rates = parse_chaos_spec(value)
+        injector = ChaosInjector(seed, rates)
+    _cached = (value, injector)
+    return injector
+
+
+def worker_injector() -> Optional[ChaosInjector]:
+    """The injector, but only inside spawned worker processes.
+
+    Chaos must never fire in the parent: the drain loop and the inline
+    quarantine fallback are the recovery machinery under test, and the
+    acceptance bar is "never a wrong answer, never a hang" — which requires
+    an uncontaminated last line of defence.
+    """
+    from repro.cluster.protocol import in_worker_context
+
+    if not in_worker_context():
+        return None
+    return env_injector()

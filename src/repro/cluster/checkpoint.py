@@ -1,0 +1,192 @@
+"""Checkpoint/resume journal for distributed runs.
+
+A :class:`RunJournal` is a durable, append-only record of completed task
+result envelopes, keyed by a content hash of the task itself salted with a
+digest of the circuit it runs against.  The schedulers consult it before
+submitting: a journalled task's result is replayed instantly, only the
+remainder hits the transport.  Because cluster merges are idempotent and
+cell/chunk decomposition is deterministic, a run killed mid-flight (even
+with ``SIGKILL`` — no atexit, no flush) resumes to a byte-identical report.
+
+Records are framed ``<u32 length><8-byte blake2b><pickle blob>`` so a torn
+tail — the expected state after killing a writer — is detected by length or
+checksum mismatch and truncated away on the next open.  Appends are
+``flush`` + ``fsync`` per record: task results arrive at most every few
+milliseconds, and durability is the whole point of the file.
+
+Keys must be **content** hashes, never spool task ids: ids embed per-run
+counters and uuids, so a resumed run would never match them.
+:func:`task_key` hashes the semantically meaningful task fields and
+:func:`program_digest` fingerprints a compiled circuit's canonical arrays
+(mirroring :meth:`Circuit.structure_digest` for lowered programs, which keep
+no back-reference to their source :class:`Circuit`).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+from hashlib import blake2b
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+#: Returned by :meth:`RunJournal.get` for a missing key (results may be None).
+MISSING = object()
+
+_HEADER = struct.Struct("<I8s")
+
+#: Task-dict fields that define a task's identity for resume purposes.
+#: Everything content-bearing but cheap to hash; deliberately excludes the
+#: program blob (covered by the journal scope salt), obs envelopes and
+#: transport bookkeeping.
+TASK_KEY_FIELDS = (
+    "kind",
+    "fault_mode",
+    "n_patterns",
+    "block_patterns",
+    "drop_detected",
+    "pattern_start",
+    "pattern_stop",
+    "patterns_key",
+    "backtrack_limit",
+    "sites",
+    "stuck_values",
+    "seed",
+    "backend",
+    "cell",
+    "payload",
+)
+
+
+def task_key(task: Dict[str, Any], salt: str = "") -> str:
+    """Stable content hash identifying ``task`` across runs.
+
+    Args:
+        task: the task dict as built for :func:`execute_task`.
+        salt: run-scope salt, normally the circuit/program digest — two runs
+            over different circuits must never share journal entries.
+    """
+    digest = blake2b(salt.encode(), digest_size=16)
+    for field in TASK_KEY_FIELDS:
+        if field in task:
+            digest.update(field.encode())
+            digest.update(repr(task[field]).encode())
+    return digest.hexdigest()
+
+
+def program_digest(program: Any) -> str:
+    """Content fingerprint of a :class:`CompiledCircuit`'s canonical arrays."""
+    digest = blake2b(digest_size=16)
+    digest.update(str(getattr(program, "name", "")).encode())
+    digest.update(str(getattr(program, "n_inputs", 0)).encode())
+    for name in ("net_names",):
+        digest.update(repr(getattr(program, name, ())).encode())
+    for name in (
+        "node_ops",
+        "node_out",
+        "node_level",
+        "fanin_ptr",
+        "fanin_idx",
+        "output_rows",
+    ):
+        array = getattr(program, name, None)
+        if array is not None:
+            digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+class RunJournal:
+    """Append-only key -> result-envelope store under a run directory.
+
+    Args:
+        run_dir: durable directory for this run (created if missing).
+        scope: journal file name stem; distinct consumers (fault-sim, podem,
+            runner cells) keep distinct journals in one run dir.
+    """
+
+    def __init__(self, run_dir: str, scope: str = "tasks"):
+        self.run_dir = str(run_dir)
+        self.scope = str(scope)
+        self.path = os.path.join(self.run_dir, f"{self.scope}.journal")
+        self._entries: Dict[str, Any] = {}
+        os.makedirs(self.run_dir, exist_ok=True)
+        self._load()
+        self._handle = open(self.path, "ab")
+
+    def _load(self) -> None:
+        """Read every intact record; truncate a torn tail in place."""
+        if not os.path.exists(self.path):
+            return
+        valid_end = 0
+        with open(self.path, "rb") as handle:
+            data = handle.read()
+        offset = 0
+        while offset + _HEADER.size <= len(data):
+            length, checksum = _HEADER.unpack_from(data, offset)
+            start = offset + _HEADER.size
+            end = start + length
+            if end > len(data):
+                break
+            blob = data[start:end]
+            if blake2b(blob, digest_size=8).digest() != checksum:
+                break
+            try:
+                key, payload = pickle.loads(blob)
+            except Exception:
+                break
+            self._entries[key] = payload
+            offset = valid_end = end
+        if valid_end < len(data):
+            with open(self.path, "r+b") as handle:
+                handle.truncate(valid_end)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str, default: Any = MISSING) -> Any:
+        return self._entries.get(key, default)
+
+    def items(self) -> Iterator[Tuple[str, Any]]:
+        return iter(list(self._entries.items()))
+
+    def put(self, key: str, payload: Any) -> None:
+        """Durably record ``payload`` for ``key`` (last write wins on load)."""
+        self._entries[key] = payload
+        blob = pickle.dumps((key, payload), protocol=pickle.HIGHEST_PROTOCOL)
+        record = _HEADER.pack(len(blob), blake2b(blob, digest_size=8).digest()) + blob
+        self._handle.write(record)
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        try:
+            self._handle.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def resolve_journal(
+    resume: Optional[object], scope: str
+) -> Optional[RunJournal]:
+    """Build the ``scope`` journal for a ``resume=`` argument.
+
+    Accepts a run-directory path or an existing :class:`RunJournal` (whose
+    run dir is reused with the requested scope); ``None`` disables
+    journalling.
+    """
+    if resume is None:
+        return None
+    if isinstance(resume, RunJournal):
+        if resume.scope == scope:
+            return resume
+        return RunJournal(resume.run_dir, scope)
+    return RunJournal(str(resume), scope)

@@ -35,9 +35,12 @@ from repro.cluster.protocol import (
     simulate_base_task,
     simulate_task,
 )
+from repro.cluster.checkpoint import resolve_journal, task_key
 from repro.cluster.transport import (
+    QuarantineError,
     Transport,
     TransportError,
+    degraded_transport_name,
     discard_transport,
     resolve_transport,
 )
@@ -82,6 +85,8 @@ def run_fault_plan(
     chunker: Optional[AdaptiveChunker] = None,
     max_inflight: Optional[int] = None,
     timeout: float = CHUNK_TIMEOUT,
+    journal=None,
+    journal_salt: str = "",
 ) -> List[Optional[int]]:
     """Execute one sharding plan over ``transport``; first-detect per fault.
 
@@ -163,7 +168,20 @@ def run_fault_plan(
 
         units = iter(chunks)
 
-    stream_tasks(transport, units, build_task, on_result, max_inflight, timeout)
+    stream_tasks(
+        transport,
+        units,
+        build_task,
+        on_result,
+        max_inflight,
+        timeout,
+        journal=journal,
+        task_key=(
+            (lambda task: task_key(task, salt=journal_salt))
+            if journal is not None
+            else None
+        ),
+    )
     return first
 
 
@@ -187,6 +205,11 @@ class ClusterFaultSimulator:
         chunk_plan: ``"adaptive"`` (default; chunk sizes follow measured
             cone cost) or ``"static"`` (the fixed equal-count plan);
             ``None`` resolves through ``REPRO_CHUNK_PLAN``.
+        resume: run directory (or :class:`~repro.cluster.checkpoint.RunJournal`)
+            to checkpoint completed chunk results into and replay them from;
+            forces the static chunk plan so a resumed run re-derives the
+            exact same chunk boundaries (adaptive sizing depends on feedback
+            arrival timing, which no journal can reproduce).
     """
 
     def __init__(
@@ -200,12 +223,16 @@ class ClusterFaultSimulator:
         min_chunk_faults: int = MIN_CHUNK_FAULTS,
         mode: Optional[str] = None,
         chunk_plan: Optional[str] = None,
+        resume=None,
     ) -> None:
         self.circuit = circuit
         self.transport = transport
         self.jobs = jobs
         self.mode = resolve_fault_mode(mode)
-        self.chunk_plan = resolve_chunk_plan(chunk_plan)
+        self.resume = resume
+        self.chunk_plan = (
+            "static" if resume is not None else resolve_chunk_plan(chunk_plan)
+        )
         self.block_patterns = (
             max(1, int(block_patterns)) if block_patterns is not None else None
         )
@@ -213,6 +240,7 @@ class ClusterFaultSimulator:
         self.chunks_per_worker = max(1, int(chunks_per_worker))
         self.min_chunk_faults = max(1, int(min_chunk_faults))
         self._inline: Optional[PackedFaultSimulator] = None
+        self._journal = None  # lazily resolved once; reused across runs
         self.last_run_stats: Dict[str, object] = self._fresh_stats(1)
 
     @staticmethod
@@ -268,6 +296,17 @@ class ClusterFaultSimulator:
         if not isinstance(self.transport, Transport):
             discard_transport(transport)
 
+    def _next_rung(self, current_name: str) -> Optional[str]:
+        """Hook: next transport down the degradation ladder, or ``None``.
+
+        Caller-pinned transport instances never degrade — the replacement
+        is not this simulator's to choose (and tests rely on a failing
+        pinned transport dropping straight to inline).
+        """
+        if isinstance(self.transport, Transport):
+            return None
+        return degraded_transport_name(current_name)
+
     def _make_chunker(
         self, plan: Tuple[str, List[Tuple[int, int]]], n_faults: int
     ) -> Optional[AdaptiveChunker]:
@@ -320,43 +359,80 @@ class ClusterFaultSimulator:
             return self._run_inline(patterns, faults, drop_detected, stats)
         sites = [self.program.row_of(f.net) for f in faults]
         stuck_values = [1 if f.stuck_value else 0 for f in faults]
+        if self.resume is not None and self._journal is None:
+            self._journal = resolve_journal(self.resume, "fault_sim")
+        journal = self._journal
+        journal_salt = (
+            f"{self.circuit.structure_digest()}|{self.mode}|{drop_detected}"
+            if journal is not None
+            else ""
+        )
         retries_before = getattr(transport, "retries", 0)
-        try:
-            with obs.span(f"fault_sim/{self.program.name}/schedule"):
-                first = run_fault_plan(
-                    transport,
-                    self.program,
-                    plan,
-                    patterns,
-                    sites,
-                    stuck_values,
-                    use_words,
-                    block_patterns,
-                    drop_detected,
-                    stats,
-                    chunker=self._make_chunker(plan, len(faults)),
-                    # Size the submission window from the jobs count, not the
-                    # transport's local worker tally — an external queue spool
-                    # reports 0 local workers while remote ones serve it.
-                    max_inflight=max(2, jobs + 2),
+        while True:
+            try:
+                with obs.span(f"fault_sim/{self.program.name}/schedule"):
+                    first = run_fault_plan(
+                        transport,
+                        self.program,
+                        plan,
+                        patterns,
+                        sites,
+                        stuck_values,
+                        use_words,
+                        block_patterns,
+                        drop_detected,
+                        stats,
+                        chunker=self._make_chunker(plan, len(faults)),
+                        # Size the submission window from the jobs count, not
+                        # the transport's local worker tally — an external
+                        # queue spool reports 0 local workers while remote
+                        # ones serve it.
+                        max_inflight=max(2, jobs + 2),
+                        journal=journal,
+                        journal_salt=journal_salt,
+                    )
+                break
+            except QuarantineError:
+                # The retry/quarantine ladder already ran this task inline
+                # and it still failed: no healthier transport can save a
+                # poisoned task, so the structured report propagates.
+                raise
+            except Exception as err:
+                # A failed transport must never cost correctness.  Step one
+                # rung down the degradation ladder (queue -> mp -> local)
+                # and redo the run — min-merge idempotence makes a partial
+                # first-detect vector safe to discard — or, off the bottom
+                # of the ladder (or for a caller-pinned transport instance,
+                # whose replacement is not ours to choose), redo it in
+                # process.  The cause is never swallowed either way: the
+                # failure goes to the event log with task id, transport
+                # name and traceback before the next attempt engages.
+                failed_name = getattr(err, "transport", None) or transport.name
+                next_name = self._next_rung(transport.name)
+                obs.event(
+                    "transport_failed",
+                    transport=failed_name,
+                    task_id=getattr(err, "task_id", None),
+                    consumer="fault_sim",
+                    fallback=next_name or "inline",
+                    error=repr(err),
+                    traceback=traceback.format_exc(),
                 )
-        except Exception as err:
-            # A failed transport must never cost correctness: redo the run
-            # in process (a fresh transport may be resolved next run) — but
-            # the cause must never be swallowed either: the failure goes to
-            # the event log with task id, transport name and traceback
-            # before the inline fallback engages.
-            obs.event(
-                "transport_failed",
-                transport=getattr(err, "transport", None) or transport.name,
-                task_id=getattr(err, "task_id", None),
-                consumer="fault_sim",
-                fallback="inline",
-                error=repr(err),
-                traceback=traceback.format_exc(),
-            )
-            self._discard_failed(transport)
-            return self._run_inline(patterns, faults, drop_detected, stats)
+                self._discard_failed(transport)
+                if next_name is None:
+                    return self._run_inline(patterns, faults, drop_detected, stats)
+                obs.event(
+                    "transport_degraded",
+                    consumer="fault_sim",
+                    from_transport=transport.name,
+                    to_transport=next_name,
+                )
+                stats["degraded_from"] = transport.name
+                try:
+                    transport = resolve_transport(next_name, jobs=jobs)
+                except (TransportError, ValueError):
+                    return self._run_inline(patterns, faults, drop_detected, stats)
+                retries_before = getattr(transport, "retries", 0)
         stats["transport"] = transport.name
         stats["retries"] = getattr(transport, "retries", 0) - retries_before
         if not transport.persistent and not isinstance(self.transport, Transport):

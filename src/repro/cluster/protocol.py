@@ -363,12 +363,33 @@ def run_cell(task: Dict[str, object]):
 
 
 def echo(task: Dict[str, object]) -> object:
-    """Execute an ``"echo"`` task: return its payload (diagnostics/tests)."""
+    """Execute an ``"echo"`` task: return its payload (diagnostics/tests).
+
+    Failure hooks for exercising the retry/quarantine machinery: ``fail``
+    raises unconditionally; ``attempt_marker`` (a file path) counts
+    executions durably across processes, and ``fail_until_attempt`` raises
+    while the recorded execution count is below the threshold — a task that
+    deterministically fails N-1 times, then succeeds.
+    """
     import time
 
     seconds = task.get("sleep", 0)
     if seconds:
         time.sleep(seconds)
+    attempt = 0
+    marker = task.get("attempt_marker")
+    if marker:
+        with open(marker, "a", encoding="utf-8") as handle:
+            handle.write("x\n")
+        with open(marker, "r", encoding="utf-8") as handle:
+            attempt = sum(1 for _ in handle)
+    if task.get("fail"):
+        raise RuntimeError(f"echo task failed on request: {task['fail']}")
+    threshold = task.get("fail_until_attempt")
+    if threshold is not None and attempt < int(threshold):
+        raise RuntimeError(
+            f"echo task failing until attempt {threshold} (attempt {attempt})"
+        )
     return task.get("payload")
 
 

@@ -1,0 +1,199 @@
+"""Bounded retry budgets, backoff and the task quarantine.
+
+Every queue task carries a *retry budget* (default 3, ``REPRO_TASK_RETRIES``):
+the number of times its submitting channel will re-enqueue it after a
+failure — a lease that expired because the claimant died, a worker-side
+exception published as an error result, or a result envelope that arrived
+truncated or unpicklable.  Each re-enqueue is delayed by exponential backoff
+with deterministic jitter (:func:`backoff_delay`), so a poisoned task cannot
+hot-loop the spool and a flapping worker set gets breathing room.
+
+A task that exhausts its budget is **quarantined**: its envelope, the
+accumulated failure records and any telemetry events mentioning it are
+written to ``<spool>/quarantine/<task_id>/`` (:func:`quarantine_task`), and
+the parent then re-executes the task inline exactly once.  Task results are
+pure functions of the task dict, so an inline success completes the run
+bit-identically; only when inline execution *also* fails does the run abort
+— with a structured report naming the task, its attempts and every recorded
+failure (:class:`~repro.cluster.transport.QuarantineError`), never with a
+silent hang or a wrong answer.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import time
+from hashlib import blake2b
+from typing import Any, Dict, List, Optional, Sequence
+
+#: Environment variable sizing every queue task's retry budget.
+TASK_RETRIES_ENV_VAR = "REPRO_TASK_RETRIES"
+
+#: Re-enqueues granted to a task before it is quarantined.
+DEFAULT_TASK_RETRIES = 3
+
+#: First-retry backoff delay in seconds; doubles per attempt up to the cap.
+BACKOFF_BASE = 0.1
+
+#: Upper bound on any single backoff delay in seconds.
+BACKOFF_CAP = 5.0
+
+#: Spool subdirectory holding quarantined tasks.
+QUARANTINE_DIR = "quarantine"
+
+
+def parse_task_retries(value: object, source: str = "task retries") -> int:
+    """Parse a retry budget, rejecting anything but an integer >= 0.
+
+    Mirrors :func:`repro.engine.pool.parse_jobs`: every surface the budget
+    can arrive from (env var, transport argument, python callers) gets the
+    same clear error instead of an opaque failure deep in the retry path.
+
+    Raises:
+        ValueError: for non-integer or negative values.
+    """
+    try:
+        retries = int(str(value).strip())
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"{source} must be a non-negative integer, got {value!r}"
+        ) from None
+    if retries < 0:
+        raise ValueError(f"{source} must be a non-negative integer, got {value!r}")
+    return retries
+
+
+def resolve_task_retries(value: Optional[int] = None) -> int:
+    """Resolve the retry budget (explicit argument > env var > default).
+
+    Raises:
+        ValueError: for invalid explicit or environment values.
+    """
+    if value is not None:
+        return parse_task_retries(value)
+    env = os.environ.get(TASK_RETRIES_ENV_VAR, "").strip()
+    if env:
+        return parse_task_retries(env, source=TASK_RETRIES_ENV_VAR)
+    return DEFAULT_TASK_RETRIES
+
+
+def backoff_delay(
+    attempt: int,
+    task_id: str,
+    base: float = BACKOFF_BASE,
+    cap: float = BACKOFF_CAP,
+) -> float:
+    """Delay before re-enqueueing ``task_id`` for its ``attempt``-th retry.
+
+    Exponential (``base * 2**(attempt-1)``, capped) with *deterministic*
+    jitter in ``[0, delay)`` derived from ``(task_id, attempt)`` — retried
+    tasks de-synchronise from each other without introducing real
+    randomness, so a failing run replays identically under a fixed seed.
+    """
+    delay = min(float(cap), float(base) * (2.0 ** max(0, int(attempt) - 1)))
+    digest = blake2b(f"{task_id}|{attempt}".encode(), digest_size=8).digest()
+    jitter = int.from_bytes(digest, "big") / float(1 << 64)
+    return delay * (1.0 + jitter)
+
+
+def failure_record(kind: str, detail: Optional[str] = None) -> Dict[str, Any]:
+    """One recorded task failure: what went wrong, when, and the evidence."""
+    return {"kind": kind, "detail": detail, "ts": time.time()}
+
+
+def quarantine_root(spool: str) -> str:
+    """The spool subdirectory quarantined tasks are moved into."""
+    return os.path.join(spool, QUARANTINE_DIR)
+
+
+def quarantine_task(
+    spool: str,
+    task_id: str,
+    task: Dict[str, object],
+    failures: Sequence[Dict[str, Any]],
+    events: Optional[Sequence[Dict[str, Any]]] = None,
+) -> str:
+    """Write one exhausted task's post-mortem to the quarantine directory.
+
+    Layout of ``<spool>/quarantine/<task_id>/``:
+
+    * ``envelope.pickle`` — the full task dict, re-runnable via
+      :func:`repro.cluster.protocol.execute_task` for offline diagnosis;
+    * ``tracebacks.txt`` — every recorded failure (lease expiries, worker
+      tracebacks, corrupt-envelope detections) in order;
+    * ``events.jsonl`` — telemetry events mentioning the task (empty when
+      tracing is off);
+    * ``report.json`` — the machine-readable summary embedded in the
+      structured quarantine report.
+
+    Returns the quarantine directory path.  Write failures are swallowed —
+    quarantine is forensics, and a full disk must not mask the original
+    task failure.
+    """
+    directory = os.path.join(quarantine_root(spool), str(task_id))
+    try:
+        os.makedirs(directory, exist_ok=True)
+        with open(os.path.join(directory, "envelope.pickle"), "wb") as handle:
+            pickle.dump(task, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        with open(
+            os.path.join(directory, "tracebacks.txt"), "w", encoding="utf-8"
+        ) as handle:
+            for index, failure in enumerate(failures):
+                handle.write(
+                    f"--- attempt {index + 1}: {failure.get('kind')} "
+                    f"(ts={failure.get('ts')}) ---\n"
+                )
+                handle.write(str(failure.get("detail") or "<no traceback>") + "\n")
+        with open(
+            os.path.join(directory, "events.jsonl"), "w", encoding="utf-8"
+        ) as handle:
+            for record in events or ():
+                handle.write(json.dumps(record, default=repr) + "\n")
+        with open(
+            os.path.join(directory, "report.json"), "w", encoding="utf-8"
+        ) as handle:
+            json.dump(
+                quarantine_entry(task_id, task, failures, directory),
+                handle,
+                indent=2,
+                default=repr,
+            )
+    except OSError:
+        pass
+    return directory
+
+
+def quarantine_entry(
+    task_id: str,
+    task: Dict[str, object],
+    failures: Sequence[Dict[str, Any]],
+    directory: Optional[str] = None,
+) -> Dict[str, Any]:
+    """The structured-report entry for one quarantined task."""
+    return {
+        "task_id": str(task_id),
+        "kind": task.get("kind"),
+        "attempts": len(failures),
+        "failures": [
+            {"kind": f.get("kind"), "ts": f.get("ts")} for f in failures
+        ],
+        "quarantine_dir": directory,
+    }
+
+
+def format_quarantine_report(entries: Sequence[Dict[str, Any]]) -> str:
+    """Human-readable abort message for a run that lost tasks to quarantine."""
+    lines = [
+        f"{len(entries)} task(s) exhausted their retry budget and failed "
+        "inline re-execution:"
+    ]
+    for entry in entries:
+        failures = ", ".join(f["kind"] for f in entry.get("failures", ())) or "?"
+        lines.append(
+            f"  - task {entry['task_id']} (kind={entry.get('kind')!r}, "
+            f"{entry.get('attempts', 0)} attempts: {failures}) "
+            f"quarantined at {entry.get('quarantine_dir')}"
+        )
+    return "\n".join(lines)

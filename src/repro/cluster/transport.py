@@ -49,11 +49,20 @@ import uuid
 from collections import deque
 from typing import Dict, List, Optional, Tuple
 
+from repro.cluster.chaos import worker_injector as chaos_worker_injector
 from repro.cluster.protocol import (
     WORKER_ENV_VAR,
     execute_task,
     unwrap_payload,
     worker_context,
+)
+from repro.cluster.retry import (
+    backoff_delay,
+    failure_record,
+    format_quarantine_report,
+    quarantine_entry,
+    quarantine_task,
+    resolve_task_retries,
 )
 from repro.obs import recorder as obs
 from repro.engine.pool import (
@@ -77,10 +86,74 @@ TRANSPORTS = ("local", "mp", "queue")
 
 DEFAULT_TRANSPORT_NAME = "mp"
 
+#: Environment variable overriding the queue lease timeout (seconds).
+LEASE_TIMEOUT_ENV_VAR = "REPRO_LEASE_TIMEOUT"
+
 #: Seconds without a lease heartbeat before a claimed task is re-enqueued.
 DEFAULT_LEASE_TIMEOUT = 15.0
 
 _default_name: Optional[str] = None
+_default_lease_timeout: Optional[float] = None
+
+
+def parse_lease_timeout(value: object, source: str = "lease timeout") -> float:
+    """Parse a lease timeout, rejecting anything but a positive number.
+
+    Same strictness as :func:`repro.engine.pool.parse_jobs`: a mistyped
+    timeout must fail loudly at configuration time, not as a mysterious
+    hang or instant-retry storm mid-run.
+
+    Raises:
+        ValueError: for non-numeric or non-positive values.
+    """
+    try:
+        timeout = float(str(value).strip())
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"{source} must be a positive number of seconds, got {value!r}"
+        ) from None
+    if not timeout > 0:
+        raise ValueError(
+            f"{source} must be a positive number of seconds, got {value!r}"
+        )
+    return timeout
+
+
+def set_default_lease_timeout(value: Optional[float]) -> Optional[float]:
+    """Set (or with ``None`` clear) the process-wide lease timeout override.
+
+    Returns the previous override so callers can restore it (the experiment
+    runner's ``--lease-timeout`` flag uses this like ``--transport``).
+
+    Raises:
+        ValueError: for non-positive values.
+    """
+    global _default_lease_timeout
+    previous = _default_lease_timeout
+    _default_lease_timeout = (
+        parse_lease_timeout(value) if value is not None else None
+    )
+    return previous
+
+
+def resolve_lease_timeout(value: Optional[float] = None) -> float:
+    """Resolve the queue lease timeout.
+
+    Resolution order mirrors the backend/transport registries: explicit
+    argument > :func:`set_default_lease_timeout` > ``REPRO_LEASE_TIMEOUT``
+    > :data:`DEFAULT_LEASE_TIMEOUT`.
+
+    Raises:
+        ValueError: for invalid explicit or environment values.
+    """
+    if value is not None:
+        return parse_lease_timeout(value)
+    if _default_lease_timeout is not None:
+        return _default_lease_timeout
+    env = os.environ.get(LEASE_TIMEOUT_ENV_VAR, "").strip()
+    if env:
+        return parse_lease_timeout(env, source=LEASE_TIMEOUT_ENV_VAR)
+    return DEFAULT_LEASE_TIMEOUT
 
 
 class TransportError(RuntimeError):
@@ -106,6 +179,42 @@ class TransportTaskError(RuntimeError):
         super().__init__(message)
         self.task_id = task_id
         self.transport = transport
+
+
+class QuarantineError(TransportTaskError):
+    """A task exhausted its retry budget *and* failed inline re-execution.
+
+    This is the end of the recovery ladder: retries, backoff and the
+    parent's inline worker-of-last-resort all failed, so the run aborts —
+    with ``report`` (a list of :func:`repro.cluster.retry.quarantine_entry`
+    dicts) naming exactly which tasks died, how many attempts each got and
+    where their quarantine directories are.  Subclasses
+    :class:`TransportTaskError` so existing per-unit retry handlers (the
+    runner's cell fallback) still recognise it, but degradation ladders
+    must re-raise it rather than stepping down a rung: the task already ran
+    inline and failed, so no healthier transport can save it.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        task_id: Optional[str] = None,
+        transport: Optional[str] = None,
+        report: Optional[List[Dict[str, object]]] = None,
+    ) -> None:
+        super().__init__(message, task_id=task_id, transport=transport)
+        self.report = list(report or [])
+
+
+def degraded_transport_name(name: str) -> Optional[str]:
+    """The next rung down the degradation ladder, or ``None`` for inline.
+
+    ``queue -> mp -> local -> inline``: each step trades distribution for
+    reliability, ending at in-process execution which cannot fail for
+    transport reasons at all.
+    """
+    ladder = {"queue": "mp", "mp": "local"}
+    return ladder.get(name)
 
 
 class Transport:
@@ -356,6 +465,37 @@ def run_claimed_task(spool: str, task_id: str, claimed_path: str) -> None:
             pid=os.getpid(),
             traceback=payload[1],
         )
+    injector = chaos_worker_injector()
+    if injector is not None:
+        if injector.should("enospc", task_id):
+            # Simulated full disk: nothing is published and the claim is
+            # deliberately kept — dropping it too would make the task
+            # vanish entirely (no result, no stale claim), wedging the
+            # parent forever.  Lease expiry recovers the task instead.
+            obs.event(
+                "chaos_injected", fault="enospc", task_id=task_id, pid=os.getpid()
+            )
+            return
+        if injector.should("corrupt", task_id):
+            blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+            write_atomic(
+                os.path.join(spool, "results", f"{task_id}.result"),
+                injector.corrupt_bytes(blob, task_id),
+            )
+            obs.event(
+                "chaos_injected", fault="corrupt", task_id=task_id, pid=os.getpid()
+            )
+            release_claim(spool, task_id)
+            return
+        if injector.should("dup", task_id):
+            # Publish but never release the claim: unless the parent
+            # consumes the result before the lease expires, the task is
+            # re-enqueued, re-executed and delivered a second time.
+            write_result(spool, task_id, payload)
+            obs.event(
+                "chaos_injected", fault="dup", task_id=task_id, pid=os.getpid()
+            )
+            return
     write_result(spool, task_id, payload)
     release_claim(spool, task_id)
 
@@ -378,12 +518,15 @@ class QueueTransport(Transport):
             ``jobs`` for a private spool, 0 for an external one).
         jobs: worker-count fallback used when ``workers`` is ``None``.
         lease_timeout: seconds without a lease heartbeat before a claimed
-            task is considered lost and re-enqueued.
+            task is considered lost and re-enqueued (``None``: resolved via
+            :func:`resolve_lease_timeout`).
         poll_interval: parent/worker poll period.
         self_drain_after: seconds without progress before the parent starts
             executing queued tasks itself even though live workers exist
             (``None``: ``lease_timeout``).  With no live workers the parent
             drains immediately.
+        task_retries: per-task retry budget before quarantine (``None``:
+            resolved via :func:`repro.cluster.retry.resolve_task_retries`).
     """
 
     name = "queue"
@@ -394,9 +537,10 @@ class QueueTransport(Transport):
         spool: Optional[str] = None,
         workers: Optional[int] = None,
         jobs: Optional[int] = None,
-        lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+        lease_timeout: Optional[float] = None,
         poll_interval: float = 0.02,
         self_drain_after: Optional[float] = None,
+        task_retries: Optional[int] = None,
     ) -> None:
         jobs = resolve_jobs(jobs)
         self._owns_spool = spool is None
@@ -410,7 +554,8 @@ class QueueTransport(Transport):
                 os.remove(os.path.join(self.spool, STOP_FILE))
             except FileNotFoundError:
                 pass
-        self.lease_timeout = float(lease_timeout)
+        self.lease_timeout = resolve_lease_timeout(lease_timeout)
+        self.task_retries = resolve_task_retries(task_retries)
         self.poll_interval = float(poll_interval)
         self.self_drain_after = (
             float(self_drain_after) if self_drain_after is not None else self.lease_timeout
@@ -443,6 +588,11 @@ class QueueTransport(Transport):
         """Re-enqueued leases observed through the direct-use channel."""
         return self._channel.retries
 
+    @property
+    def quarantined(self) -> List[Dict[str, object]]:
+        """Quarantine-report entries from the direct-use channel."""
+        return self._channel.quarantined
+
     # -- worker management -------------------------------------------------
     def _spawn_worker(self) -> subprocess.Popen:
         env = dict(os.environ)
@@ -469,6 +619,12 @@ class QueueTransport(Transport):
                 str(max(0.01, self.poll_interval)),
                 "--heartbeat",
                 str(max(0.05, min(1.0, self.lease_timeout / 4))),
+                # A parent that dies without writing the stop file (SIGKILL,
+                # OOM) must not leave pollers behind forever: generously
+                # idle-exit instead.  Normal runs never hit this — the stop
+                # file lands at close().
+                "--max-idle",
+                str(max(60.0, 20.0 * self.lease_timeout)),
             ],
             env=env,
             stdout=subprocess.DEVNULL,
@@ -597,7 +753,17 @@ class QueueChannel(Transport):
         self._outstanding: Dict[str, Dict[str, object]] = {}
         self._consumed: set = set()
         self._claim_seen: Dict[str, float] = {}
+        #: task_id -> accumulated failure records (retry budget bookkeeping).
+        self._attempts: Dict[str, List[Dict[str, object]]] = {}
+        #: task_id -> earliest re-enqueue time (exponential-backoff delay).
+        self._requeue_at: Dict[str, float] = {}
+        #: task_id -> when an unreadable result file was first seen.
+        self._corrupt_seen: Dict[str, float] = {}
+        #: Lease-expiry re-enqueues (legacy counter; budget lives in
+        #: ``_attempts`` which also counts error and corrupt-result retries).
         self.retries = 0
+        #: Quarantine-report entries for tasks that died for good.
+        self.quarantined: List[Dict[str, object]] = []
 
     @property
     def workers(self) -> int:  # type: ignore[override]
@@ -610,9 +776,128 @@ class QueueChannel(Transport):
     def submit(self, task: Dict[str, object]) -> str:
         task_id = f"{self._prefix}t{self._counter:06d}-{uuid.uuid4().hex[:6]}"
         self._counter += 1
-        enqueue_task(self.spool, task_id, task)
+        try:
+            enqueue_task(self.spool, task_id, task)
+        except OSError as err:
+            # An unwritable spool (deleted out from under us, full disk,
+            # permissions) means this transport cannot make progress at
+            # all; surface it as a transport failure so the degradation
+            # ladder engages instead of a bare OSError killing the run.
+            raise TransportError(
+                f"queue spool unwritable at {self.spool}: {err}"
+            ) from err
         self._outstanding[task_id] = task
         return task_id
+
+    def _consume(self, task_id: str) -> None:
+        """Mark ``task_id`` done and drop every piece of its bookkeeping."""
+        self._outstanding.pop(task_id, None)
+        self._consumed.add(task_id)
+        self._claim_seen.pop(task_id, None)
+        self._attempts.pop(task_id, None)
+        self._requeue_at.pop(task_id, None)
+        self._corrupt_seen.pop(task_id, None)
+        # A finished task can leave an orphan claim (stalled worker whose
+        # result we consumed anyway, chaos-injected unreleased claims);
+        # since the id is consumed, lease retry will never look at it again
+        # — GC it now so shared spools stay clean.
+        release_claim(self.spool, task_id)
+
+    def _handle_failure(
+        self, task_id: str, kind: str, detail: Optional[str]
+    ) -> Optional[Tuple[str, object]]:
+        """Route one task failure through retry budget -> quarantine.
+
+        Returns ``None`` when the task was scheduled for another attempt
+        (or is already resolved), or the task's ``(task_id, payload)`` when
+        the budget is exhausted and the inline quarantine re-execution
+        succeeded.
+
+        Raises:
+            QuarantineError: budget exhausted and inline re-execution failed.
+        """
+        if task_id not in self._outstanding:
+            return None
+        failures = self._attempts.setdefault(task_id, [])
+        failures.append(failure_record(kind, detail))
+        if len(failures) <= self.parent.task_retries:
+            delay = backoff_delay(len(failures), task_id)
+            self._requeue_at[task_id] = time.time() + delay
+            obs.event(
+                "task_retry_scheduled",
+                transport="queue",
+                task_id=task_id,
+                attempt=len(failures),
+                reason=kind,
+                delay_s=round(delay, 3),
+            )
+            return None
+        return self._quarantine_and_run_inline(task_id, failures)
+
+    def _quarantine_and_run_inline(
+        self, task_id: str, failures: List[Dict[str, object]]
+    ) -> Tuple[str, object]:
+        """Budget exhausted: quarantine the envelope, then run it inline.
+
+        Task results are pure functions of the task dict, so a successful
+        inline execution completes the run bit-identically to a healthy
+        cluster run; inline failure means the task itself is poisoned and
+        the run aborts with the structured report.
+        """
+        task = self._outstanding[task_id]
+        events = obs.events_mentioning(task_id)
+        directory = quarantine_task(self.spool, task_id, task, failures, events)
+        obs.event(
+            "task_quarantined",
+            transport="queue",
+            task_id=task_id,
+            attempts=len(failures),
+            quarantine_dir=directory,
+        )
+        # Withdraw every live copy so no worker re-runs a quarantined task.
+        for sub, suffix in (
+            ("tasks", ".task"),
+            ("claimed", ".task"),
+            ("claimed", ".lease"),
+        ):
+            try:
+                os.remove(os.path.join(self.spool, sub, f"{task_id}{suffix}"))
+            except OSError:
+                pass
+        try:
+            with worker_context():
+                payload = execute_task(task)
+        except Exception:
+            import traceback
+
+            failures.append(failure_record("inline_failed", traceback.format_exc()))
+            entry = quarantine_entry(task_id, task, failures, directory)
+            quarantine_task(self.spool, task_id, task, failures, events)
+            self.quarantined.append(entry)
+            self._consume(task_id)
+            raise QuarantineError(
+                format_quarantine_report([entry]),
+                task_id=task_id,
+                transport="queue",
+                report=[entry],
+            ) from None
+        self._consume(task_id)
+        obs.event("task_recovered_inline", transport="queue", task_id=task_id)
+        return task_id, unwrap_payload(task_id, payload)
+
+    def _flush_requeues(self) -> None:
+        """Re-enqueue retried tasks whose backoff delay has elapsed."""
+        if not self._requeue_at:
+            return
+        now = time.time()
+        for task_id, ready_at in list(self._requeue_at.items()):
+            if now < ready_at:
+                continue
+            del self._requeue_at[task_id]
+            task = self._outstanding.get(task_id)
+            if task is None:
+                continue  # resolved while waiting (late result arrived)
+            enqueue_task(self.spool, task_id, task)
 
     def _scan_results(self) -> Optional[Tuple[str, object]]:
         results_dir = os.path.join(self.spool, "results")
@@ -640,41 +925,92 @@ class QueueChannel(Transport):
                 continue
             try:
                 with open(path, "rb") as handle:
-                    status, value = pickle.load(handle)
-            except (EOFError, pickle.UnpicklingError, FileNotFoundError):
-                continue  # publisher mid-write on a non-atomic filesystem
-            del self._outstanding[task_id]
-            self._consumed.add(task_id)
-            self._claim_seen.pop(task_id, None)
-            try:
-                os.remove(path)
+                    loaded = pickle.load(handle)
+                status, value = loaded
             except FileNotFoundError:
-                pass
+                continue  # another poll consumed it between listdir and open
+            except (
+                EOFError,
+                pickle.UnpicklingError,
+                AttributeError,
+                ImportError,
+                IndexError,
+                TypeError,
+                ValueError,
+            ) as err:
+                # Unreadable envelope.  Grace-period first: on a non-atomic
+                # network filesystem this is what a publisher mid-write
+                # looks like, and the complete file lands moments later.
+                # An envelope still unreadable after the grace period is
+                # genuinely corrupt (torn write before a crash, truncation
+                # by a full disk): route the task through retry/quarantine
+                # instead of crashing — or worse, silently spinning on —
+                # the drain loop.
+                first_seen = self._corrupt_seen.setdefault(task_id, time.time())
+                grace = max(0.25, 4 * self.parent.poll_interval)
+                if time.time() - first_seen <= grace:
+                    continue
+                self._corrupt_seen.pop(task_id, None)
+                obs.event(
+                    "result_corrupt",
+                    transport="queue",
+                    task_id=task_id,
+                    error=repr(err),
+                )
+                try:
+                    os.remove(path)
+                except FileNotFoundError:
+                    pass
+                release_claim(self.spool, task_id)
+                recovered = self._handle_failure(
+                    task_id, "result_corrupt", repr(err)
+                )
+                if recovered is not None:
+                    return recovered
+                continue
+            self._corrupt_seen.pop(task_id, None)
             if status == "error":
+                # Resolve the failure *before* consuming: a retried task
+                # must stay outstanding so its re-execution is collected.
+                try:
+                    os.remove(path)
+                except FileNotFoundError:
+                    pass
+                release_claim(self.spool, task_id)
                 obs.event(
                     "task_failed",
                     transport="queue",
                     task_id=task_id,
                     traceback=value,
                 )
-                raise TransportTaskError(
-                    f"task {task_id} failed remotely:\n{value}",
-                    task_id=task_id,
-                    transport="queue",
-                )
+                recovered = self._handle_failure(task_id, "task_error", value)
+                if recovered is not None:
+                    return recovered
+                continue
+            self._consume(task_id)
+            try:
+                os.remove(path)
+            except FileNotFoundError:
+                pass
             return task_id, unwrap_payload(task_id, value)
         return None
 
-    def _requeue_stale_claims(self) -> None:
+    def _requeue_stale_claims(self) -> Optional[Tuple[str, object]]:
+        """Expire stale leases into the retry/quarantine path.
+
+        Returns a ``(task_id, payload)`` only when a task exhausted its
+        budget on lease expiries and the inline quarantine re-execution
+        produced its result.
+        """
         claimed_dir = os.path.join(self.spool, "claimed")
         now = time.time()
         try:
             names = [n for n in os.listdir(claimed_dir) if n.endswith(".task")]
         except FileNotFoundError:
-            return
+            return None
         for name in names:
             task_id = name[: -len(".task")]
-            if task_id not in self._outstanding:
+            if task_id not in self._outstanding or task_id in self._requeue_at:
                 continue
             lease = os.path.join(claimed_dir, f"{task_id}.lease")
             try:
@@ -692,9 +1028,8 @@ class QueueChannel(Transport):
                 stale_s=round(now - last_beat, 3),
             )
             source = os.path.join(claimed_dir, name)
-            target = os.path.join(self.spool, "tasks", name)
             try:
-                os.replace(source, target)
+                os.remove(source)
             except FileNotFoundError:
                 continue  # the claimant finished after all
             try:
@@ -704,6 +1039,12 @@ class QueueChannel(Transport):
             self._claim_seen.pop(task_id, None)
             self.retries += 1
             obs.event("task_retried", transport="queue", task_id=task_id)
+            recovered = self._handle_failure(
+                task_id, "lease_expired", f"no heartbeat for {now - last_beat:.3f}s"
+            )
+            if recovered is not None:
+                return recovered
+        return None
 
     def next_result(self, timeout: float = CHUNK_TIMEOUT) -> Tuple[str, object]:
         if not self._outstanding:
@@ -717,10 +1058,18 @@ class QueueChannel(Transport):
                 # fail fast so this consumer's inline fallback engages now
                 # instead of after the full collect timeout.
                 raise TransportError("queue transport was closed")
+            if not os.path.isdir(os.path.join(self.spool, "tasks")):
+                # Spool deleted out from under us (operator GC, tmpdir
+                # cleanup): no result can ever arrive — fail fast so the
+                # degradation ladder engages instead of the full timeout.
+                raise TransportError(f"queue spool vanished: {self.spool}")
             found = self._scan_results()
             if found is not None:
                 return found
-            self._requeue_stale_claims()
+            self._flush_requeues()
+            recovered = self._requeue_stale_claims()
+            if recovered is not None:
+                return recovered
             parent._sweep_orphan_results()
             now = time.time()
             if (
@@ -820,7 +1169,10 @@ def resolve_transport(
     if name == "mp":
         return MpTransport(jobs=jobs)
     workers = _queue_workers(owns_spool=spool is None, jobs=jobs)
-    key = (name, spool, workers, jobs)
+    # The resolved lease timeout participates in the share key so a changed
+    # REPRO_LEASE_TIMEOUT / set_default_lease_timeout builds a fresh
+    # transport instead of silently reusing one with the old timeout.
+    key = (name, spool, workers, jobs, resolve_lease_timeout())
     shared = _shared.get(key)
     if shared is None:
         shared = QueueTransport(spool=spool, workers=workers, jobs=jobs)

@@ -16,7 +16,18 @@ worker.
 
 Exit conditions: the spool's ``stop`` file appears (written by the parent's
 ``close()``), the spool directory vanishes, ``--max-tasks`` is reached, or
-``--idle-exit`` seconds pass without any task to claim.
+``--max-idle`` seconds pass without any task to claim (``--idle-exit`` is
+the historical spelling, kept as an alias) — so an orphaned worker whose
+parent died without a stop file drains away instead of polling a dead
+spool forever.  ``--clean`` is a maintenance subcommand instead of a serve
+loop: it garbage-collects stale spool debris (orphan results, leases,
+events, quarantine directories) past a TTL, and removes entire spool/run
+directories whose *newest* file is older than the TTL.
+
+With ``REPRO_CHAOS`` armed (see :mod:`repro.cluster.chaos`), the serve loop
+deterministically injects worker kills right after a claim and heartbeat
+stalls long enough to expire the lease — the two failure modes a real
+fleet produces through OOM kills and CPU starvation.
 
 With tracing on (``REPRO_TRACE=1`` — the queue transport propagates it to
 the workers it spawns), every lifecycle decision — join, claim, done,
@@ -37,8 +48,10 @@ import time
 import uuid
 from typing import List, Optional
 
+from repro.cluster.chaos import env_injector
 from repro.cluster.protocol import WORKER_ENV_VAR
 from repro.cluster.transport import (
+    SPOOL_DIRS,
     STOP_FILE,
     claim_task,
     init_spool,
@@ -127,7 +140,25 @@ def serve(
             obs.event("task_claimed", worker=worker_id, task_id=task_id)
             lease = os.path.join(spool, "claimed", f"{task_id}.lease")
             touch(lease)
-            beats.set_paths([liveness, lease])
+            injector = env_injector()
+            if injector is not None and injector.should("kill", task_id):
+                # OOM-kill / preemption right after the claim: die without
+                # publishing anything.  The claim and its never-refreshed
+                # lease stay behind for the parent's lease expiry to find.
+                obs.event(
+                    "chaos_injected", fault="kill", task_id=task_id, worker=worker_id
+                )
+                os._exit(9)
+            stalled = injector is not None and injector.should("stall", task_id)
+            if stalled:
+                # CPU-starved worker: the heartbeat freezes (the beat thread
+                # gets no paths) while execution proceeds, so the parent
+                # expires the lease and re-runs the task — the canonical
+                # duplicate-delivery race.
+                obs.event(
+                    "chaos_injected", fault="stall", task_id=task_id, worker=worker_id
+                )
+            beats.set_paths([liveness] if stalled else [liveness, lease])
             try:
                 run_claimed_task(spool, task_id, path)
             finally:
@@ -148,6 +179,67 @@ def serve(
         except OSError:
             pass
     return done
+
+
+def clean_spool(spool: str, ttl: float) -> List[str]:
+    """Garbage-collect stale debris from a spool/run directory.
+
+    Two levels of cleanup, both gated on ``ttl`` seconds of inactivity:
+
+    * files inside a *live* spool's bookkeeping subdirectories (orphan
+      results, stale worker liveness files, leftover claims/leases, old
+      event logs) and stale ``quarantine/`` subdirectories are removed
+      individually once older than the TTL;
+    * if after that the directory's **newest** remaining file (the spool
+      itself, a checkpoint journal, anything) is still older than the TTL,
+      the whole directory is removed — covering dead private spools and
+      abandoned ``--resume`` run directories alike.
+
+    Returns the paths removed (files and directories), for reporting.
+    """
+    import shutil
+
+    removed: List[str] = []
+    now = time.time()
+    if not os.path.isdir(spool):
+        return removed
+
+    def _stale(path: str) -> bool:
+        try:
+            return now - os.path.getmtime(path) > ttl
+        except OSError:
+            return False
+
+    for sub in SPOOL_DIRS:
+        directory = os.path.join(spool, sub)
+        if not os.path.isdir(directory):
+            continue
+        for name in sorted(os.listdir(directory)):
+            path = os.path.join(directory, name)
+            if os.path.isfile(path) and _stale(path):
+                try:
+                    os.remove(path)
+                    removed.append(path)
+                except OSError:
+                    pass
+    quarantine = os.path.join(spool, "quarantine")
+    if os.path.isdir(quarantine):
+        for name in sorted(os.listdir(quarantine)):
+            path = os.path.join(quarantine, name)
+            if os.path.isdir(path) and _stale(path):
+                shutil.rmtree(path, ignore_errors=True)
+                removed.append(path)
+    newest = 0.0
+    for root, _dirs, files in os.walk(spool):
+        for name in files:
+            try:
+                newest = max(newest, os.path.getmtime(os.path.join(root, name)))
+            except OSError:
+                pass
+    if now - (newest or 0.0) > ttl:
+        shutil.rmtree(spool, ignore_errors=True)
+        removed.append(spool)
+    return removed
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -173,10 +265,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="liveness/lease heartbeat period in seconds",
     )
     parser.add_argument(
+        "--max-idle",
         "--idle-exit",
+        dest="max_idle",
         type=float,
         default=None,
-        help="exit after this many idle seconds (default: wait for the stop file)",
+        help=(
+            "exit after this many idle seconds so orphaned workers drain away "
+            "(default: wait for the stop file; --idle-exit is the historical "
+            "spelling)"
+        ),
+    )
+    parser.add_argument(
+        "--clean",
+        action="store_true",
+        help=(
+            "instead of serving, garbage-collect stale spool/run debris past "
+            "--ttl and exit"
+        ),
+    )
+    parser.add_argument(
+        "--ttl",
+        type=float,
+        default=24 * 3600.0,
+        help="staleness threshold in seconds for --clean (default: 1 day)",
     )
     return parser
 
@@ -184,12 +296,16 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    if args.clean:
+        for path in clean_spool(args.spool, ttl=args.ttl):
+            print(f"removed {path}")
+        return 0
     serve(
         args.spool,
         max_tasks=args.max_tasks,
         poll=args.poll,
         heartbeat=args.heartbeat,
-        idle_exit=args.idle_exit,
+        idle_exit=args.max_idle,
     )
     return 0
 

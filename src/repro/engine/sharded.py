@@ -157,6 +157,11 @@ class ShardedFaultSimulator(ClusterFaultSimulator):
         # never cost correctness: drop it so the next run starts fresh.
         _discard_broken_pool()
 
+    def _next_rung(self, current_name: str) -> None:
+        # The sharded backend IS the mp rung: a broken pool falls straight
+        # to inline, exactly as it did before the degradation ladder.
+        return None
+
 
 class ShardedPodemScheduler(ClusterPodemScheduler):
     """Prefetches per-fault compiled-PODEM results from the worker pool.
@@ -207,6 +212,11 @@ class ShardedPodemScheduler(ClusterPodemScheduler):
 
     def _failed(self) -> None:
         _discard_broken_pool()
+
+    def _next_rung(self, current_name) -> None:
+        # The sharded backend IS the mp rung: a broken pool falls straight
+        # to inline, exactly as it did before the degradation ladder.
+        return None
 
 
 class ShardedBackend(PackedBackend):

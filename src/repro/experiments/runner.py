@@ -29,6 +29,12 @@ spools the cells to ``python -m repro.cluster.worker`` processes that may
 live on other hosts.  The merge stays in deterministic cell order, so the
 report text remains byte-identical for every transport, worker count or
 retried task.
+
+Robustness knobs: ``--resume RUN_DIR`` checkpoints completed cells into a
+durable journal and replays them on the next invocation, so a run killed
+halfway re-executes only the remainder (and still prints a byte-identical
+report); ``--lease-timeout`` tunes how long the queue transport waits
+before re-enqueuing a claimed-but-unfinished task.
 """
 
 from __future__ import annotations
@@ -37,14 +43,18 @@ import argparse
 import os
 import sys
 import time
+from hashlib import blake2b
 from typing import Dict, List, Optional, Tuple
 
+from repro.cluster.checkpoint import MISSING, RunJournal, resolve_journal
 from repro.cluster.protocol import cell_task, unwrap_payload
 from repro.cluster.transport import (
     TransportError,
     TransportTaskError,
+    parse_lease_timeout,
     parse_transport_spec,
     resolve_transport,
+    set_default_lease_timeout,
     set_default_transport,
 )
 from repro.engine.backend import (
@@ -116,6 +126,17 @@ def _cells_for(artifact: str, names: List[str]) -> List[Cell]:
     return [("whole", artifact, None)]
 
 
+def _cell_key(cell: Cell, seed: int, backend_name: str) -> str:
+    """Checkpoint key for one cell: pure content, no run-local identifiers.
+
+    The cell tuple already carries the artefact and benchmark names, so two
+    runs with the same benchmarks, seed and backend agree on every key and a
+    ``--resume`` journal replays across processes.
+    """
+    blob = repr((cell, seed, backend_name)).encode("utf-8")
+    return blake2b(blob, digest_size=16).hexdigest()
+
+
 def _run_cell(cell: Cell, seed: int) -> List[TableResult]:
     """Execute one cell (in a worker or, as fallback, in process)."""
     kind, artifact, names = cell
@@ -173,52 +194,79 @@ def _merge_cells(artifact: str, parts: List[List[TableResult]]) -> List[TableRes
     return parts[0]
 
 
+def _journal_hit(journal: Optional[RunJournal], key: str):
+    """Replay a journalled cell, counting it; ``MISSING`` on miss."""
+    if journal is None:
+        return MISSING
+    cached = journal.get(key)
+    if cached is not MISSING:
+        obs.counter("runner.cells_replayed")
+    return cached
+
+
+def _journal_put(journal: Optional[RunJournal], key: str, part) -> None:
+    """Durably record one completed cell, counting it."""
+    obs.counter("runner.cells_executed")
+    if journal is not None:
+        journal.put(key, part)
+
+
 def _run_all_parallel(
-    artifacts: List[str], names: Optional[List[str]], seed: int, pool
+    artifacts: List[str],
+    names: Optional[List[str]],
+    seed: int,
+    pool,
+    journal: Optional[RunJournal] = None,
 ) -> Dict[str, List[TableResult]]:
     """Schedule every cell of every artefact on the pool, merge in order."""
     resolved = list(names or default_workload_names())
     backend_name = default_backend_name()
     trace = obs.enabled()
     counter = iter(range(1 << 30))
-    submitted = [
-        (
-            artifact,
-            [
-                (
-                    cell,
-                    f"cell-{next(counter):06d}",
-                    pool.apply_async(
-                        _cell_worker, ((cell, seed, backend_name, trace),)
-                    ),
-                )
-                for cell in _cells_for(artifact, resolved)
-            ],
-        )
-        for artifact in artifacts
-    ]
+    submitted = []
+    for artifact in artifacts:
+        entries = []
+        for cell in _cells_for(artifact, resolved):
+            key = _cell_key(cell, seed, backend_name)
+            cached = _journal_hit(journal, key)
+            if cached is not MISSING:
+                entries.append((cell, key, None, cached))
+                continue
+            handle = pool.apply_async(
+                _cell_worker, ((cell, seed, backend_name, trace),)
+            )
+            entries.append((cell, key, (f"cell-{next(counter):06d}", handle), None))
+        submitted.append((artifact, entries))
 
     results: Dict[str, List[TableResult]] = {}
     for artifact, cells in submitted:
         parts: List[List[TableResult]] = []
-        for cell, cell_id, handle in cells:
+        for cell, key, pending, cached in cells:
+            if pending is None:
+                parts.append(cached)
+                continue
+            cell_id, handle = pending
             try:
                 # The timeout guards against a silently lost task (a worker
                 # killed mid-cell is respawned by the pool but its task
                 # never completes); it lands in the inline fallback below.
-                parts.append(
-                    unwrap_payload(cell_id, handle.get(timeout=_CHUNK_TIMEOUT))
-                )
+                part = unwrap_payload(cell_id, handle.get(timeout=_CHUNK_TIMEOUT))
             except Exception:
                 # Worker-side failure (unpicklable custom backend, dead
                 # worker, ...): redo just this cell in process.
-                parts.append(_run_cell(cell, seed))
+                part = _run_cell(cell, seed)
+            _journal_put(journal, key, part)
+            parts.append(part)
         results[artifact] = _merge_cells(artifact, parts)
     return results
 
 
 def _run_all_transport(
-    artifacts: List[str], names: Optional[List[str]], seed: int, jobs: int
+    artifacts: List[str],
+    names: Optional[List[str]],
+    seed: int,
+    jobs: int,
+    journal: Optional[RunJournal] = None,
 ) -> Optional[Dict[str, List[TableResult]]]:
     """Schedule every cell as a cluster work unit; merge in cell order.
 
@@ -235,13 +283,22 @@ def _run_all_transport(
         return None
     resolved = list(names or default_workload_names())
     backend_name = default_backend_name()
-    submitted: List[Tuple[str, List[Tuple[Cell, str]]]] = []
+    submitted: List[Tuple[str, List[Tuple[Cell, str, Optional[str]]]]] = []
+    replayed: Dict[str, List[TableResult]] = {}
+    keys: Dict[str, str] = {}
     pending = set()
     for artifact in artifacts:
         entries = []
         for cell in _cells_for(artifact, resolved):
+            key = _cell_key(cell, seed, backend_name)
+            cached = _journal_hit(journal, key)
+            if cached is not MISSING:
+                replayed[key] = cached
+                entries.append((cell, key, None))
+                continue
             task_id = transport.submit(cell_task(cell, seed, backend_name))
-            entries.append((cell, task_id))
+            keys[task_id] = key
+            entries.append((cell, key, task_id))
             pending.add(task_id)
         submitted.append((artifact, entries))
 
@@ -260,13 +317,50 @@ def _run_all_transport(
         if task_id in pending:
             pending.discard(task_id)
             collected[task_id] = payload
+            _journal_put(journal, keys[task_id], payload)
 
     results: Dict[str, List[TableResult]] = {}
     for artifact, entries in submitted:
-        parts = [
-            collected[task_id] if task_id in collected else _run_cell(cell, seed)
-            for cell, task_id in entries
-        ]
+        parts = []
+        for cell, key, task_id in entries:
+            if task_id is None:
+                parts.append(replayed[key])
+            elif task_id in collected:
+                parts.append(collected[task_id])
+            else:
+                part = _run_cell(cell, seed)
+                _journal_put(journal, key, part)
+                parts.append(part)
+        results[artifact] = _merge_cells(artifact, parts)
+    return results
+
+
+def _run_all_serial_journaled(
+    artifacts: List[str],
+    names: Optional[List[str]],
+    seed: int,
+    journal: RunJournal,
+) -> Dict[str, List[TableResult]]:
+    """Serial run with per-cell checkpointing (``--resume`` at ``--jobs 1``).
+
+    Decomposes into the same cells the parallel paths use so a journal
+    written at any job count replays at any other; the merge keeps the
+    report byte-identical to the plain serial path.
+    """
+    resolved = list(names or default_workload_names())
+    backend_name = default_backend_name()
+    results: Dict[str, List[TableResult]] = {}
+    for artifact in artifacts:
+        parts: List[List[TableResult]] = []
+        for cell in _cells_for(artifact, resolved):
+            key = _cell_key(cell, seed, backend_name)
+            cached = _journal_hit(journal, key)
+            if cached is not MISSING:
+                parts.append(cached)
+                continue
+            part = _run_cell(cell, seed)
+            _journal_put(journal, key, part)
+            parts.append(part)
         results[artifact] = _merge_cells(artifact, parts)
     return results
 
@@ -276,6 +370,7 @@ def run_all(
     names: Optional[List[str]] = None,
     seed: int = 0,
     jobs: int = 1,
+    resume=None,
 ) -> Dict[str, List[TableResult]]:
     """Run the requested artefacts and return their tables keyed by artefact id.
 
@@ -288,17 +383,31 @@ def run_all(
             transport; otherwise they ride the shared process pool.  Tables
             are identical every way — parallel cells are merged in
             deterministic order.
+        resume: run directory (or open
+            :class:`~repro.cluster.checkpoint.RunJournal`) holding the
+            ``cells`` checkpoint journal.  Completed cells found there are
+            replayed instead of re-executed and newly completed cells are
+            appended, so a run killed halfway resumes with only the
+            remainder — and the report stays byte-identical.
     """
     selected = list(artifacts or ARTIFACTS)
-    if jobs > 1:
-        if default_backend_name() == "cluster":
-            results = _run_all_transport(selected, names, seed, jobs)
-            if results is not None:
-                return results
-        pool = worker_pool(jobs)
-        if pool is not None:
-            return _run_all_parallel(selected, names, seed, pool)
-    return {artifact: _collect(artifact, names, seed) for artifact in selected}
+    journal = resolve_journal(resume, "cells")
+    owns_journal = journal is not None and not isinstance(resume, RunJournal)
+    try:
+        if jobs > 1:
+            if default_backend_name() == "cluster":
+                results = _run_all_transport(selected, names, seed, jobs, journal)
+                if results is not None:
+                    return results
+            pool = worker_pool(jobs)
+            if pool is not None:
+                return _run_all_parallel(selected, names, seed, pool, journal)
+        if journal is not None:
+            return _run_all_serial_journaled(selected, names, seed, journal)
+        return {artifact: _collect(artifact, names, seed) for artifact in selected}
+    finally:
+        if owns_journal:
+            journal.close()
 
 
 def _jobs_argument(text: str) -> int:
@@ -316,6 +425,14 @@ def _transport_argument(text: str) -> str:
     except ValueError as err:
         raise argparse.ArgumentTypeError(err.args[0]) from None
     return text
+
+
+def _lease_timeout_argument(text: str) -> float:
+    """argparse type for ``--lease-timeout``: strict positive number."""
+    try:
+        return parse_lease_timeout(text, source="--lease-timeout")
+    except ValueError as err:
+        raise argparse.ArgumentTypeError(err.args[0]) from None
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -360,6 +477,22 @@ def build_parser() -> argparse.ArgumentParser:
         "report text are identical for every transport)",
     )
     parser.add_argument(
+        "--lease-timeout",
+        type=_lease_timeout_argument,
+        default=None,
+        help="queue-transport lease timeout in seconds before an unfinished "
+        "task is re-enqueued (default: REPRO_LEASE_TIMEOUT or 15)",
+    )
+    parser.add_argument(
+        "--resume",
+        default="",
+        metavar="RUN_DIR",
+        help="checkpoint completed (artifact x benchmark) cells into this "
+        "run directory and replay any found there, so a killed run "
+        "re-executes only the remainder; the report is byte-identical "
+        "either way",
+    )
+    parser.add_argument(
         "--metrics",
         default="",
         help="write a telemetry metrics JSON (counters, per-kernel span "
@@ -397,6 +530,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     previous_transport = (
         set_default_transport(args.transport) if args.transport is not None else None
     )
+    previous_lease = (
+        set_default_lease_timeout(args.lease_timeout)
+        if args.lease_timeout is not None
+        else None
+    )
     metrics_path = obs_metrics.resolve_metrics_path(args.metrics or None)
     enabled_here = False
     if metrics_path and not obs.enabled():
@@ -411,7 +549,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     try:
         start = time.perf_counter()
-        results = run_all(artifacts, names, seed=args.seed, jobs=jobs)
+        results = run_all(
+            artifacts, names, seed=args.seed, jobs=jobs, resume=args.resume or None
+        )
         elapsed = time.perf_counter() - start
         for artifact in artifacts:
             for table in results[artifact]:
@@ -424,6 +564,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             set_default_jobs(previous_jobs)
         if args.transport is not None:
             set_default_transport(previous_transport)
+        if args.lease_timeout is not None:
+            set_default_lease_timeout(previous_lease)
 
     report = "\n".join(lines)
     print(report)

@@ -314,6 +314,47 @@ def set_event_file(path: Optional[str]) -> None:
     _active.set_event_file(path)
 
 
+def events_mentioning(task_id: object) -> List[Dict[str, Any]]:
+    """Recorded events whose ``task_id`` field matches (empty when disabled).
+
+    Used by the quarantine writer to attach a task's telemetry trail (lease
+    expiries, retries, worker-side failures) to its post-mortem directory.
+    """
+    if not _active.enabled:
+        return []
+    return [
+        record
+        for record in _active.snapshot().get("events", [])
+        if record.get("task_id") == task_id
+    ]
+
+
+def read_events(path: str) -> List[Dict[str, Any]]:
+    """Read a JSONL event file, tolerating a torn final line.
+
+    Worker event logs are plain appends with no atomicity guarantee; a
+    worker killed mid-write (chaos, SIGKILL tests, real crashes) leaves a
+    truncated last record.  Unparseable lines are skipped so post-mortem
+    tooling can always read what *did* land.
+    """
+    records: List[Dict[str, Any]] = []
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue
+                if isinstance(record, dict):
+                    records.append(record)
+    except OSError:
+        return records
+    return records
+
+
 class task_capture:
     """Capture telemetry for one task into a private recorder.
 

@@ -1,0 +1,462 @@
+"""Checkpoint/resume tests: the run journal and crash-resume parity.
+
+A run directory holds append-only journals of completed task results keyed
+by *content* (task fields salted with the circuit/program digest, never
+spool task ids).  Re-running with ``resume=`` replays journalled results
+and schedules only the remainder, so a parent SIGKILLed mid-run — on any
+transport — resumes to a result identical to an uninterrupted run.  The
+obs counters ``cluster.tasks_replayed`` / ``cluster.tasks_executed`` (and
+the runner's ``runner.cells_*`` pair) verify that replay actually replaced
+re-execution.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import subprocess
+import sys
+import textwrap
+
+import numpy as np
+import pytest
+
+import repro
+from repro.atpg.collapse import collapse_faults
+from repro.circuit.generator import CircuitSpec, generate_circuit
+from repro.cluster import (
+    ClusterFaultSimulator,
+    ClusterPodemScheduler,
+    LocalTransport,
+    RunJournal,
+    resolve_journal,
+    task_key,
+)
+from repro.cluster.checkpoint import MISSING, program_digest
+from repro.cubes.cube import TestSet
+from repro.engine.backend import get_backend
+from repro.experiments.report import render_table
+from repro.experiments.runner import run_all
+from repro.obs import recorder as obs
+
+
+def _medium_circuit():
+    return generate_circuit(CircuitSpec("resume_med", 10, 12, 260, seed=6))
+
+
+def _patterns(circuit, n=96, seed=2):
+    rng = np.random.default_rng(seed)
+    return TestSet.from_matrix(
+        rng.integers(0, 2, size=(n, circuit.n_test_pins)).astype(np.int8)
+    )
+
+
+def _assert_same(reference, result, context=""):
+    assert list(reference.detected.items()) == list(result.detected.items()), context
+    assert reference.undetected == result.undetected, context
+    assert reference.coverage == result.coverage, context
+
+
+def _counters(body) -> dict:
+    """Run ``body`` under an enabled recorder; return the counter table."""
+    obs.enable()
+    obs.reset()
+    try:
+        body()
+        return obs.snapshot()["counters"]
+    finally:
+        obs.disable()
+        obs.reset()
+
+
+# -- the journal itself ------------------------------------------------------
+class TestRunJournal:
+    def test_roundtrip_and_reload(self, tmp_path):
+        run_dir = str(tmp_path / "run")
+        with RunJournal(run_dir, scope="tasks") as journal:
+            journal.put("a", [1, 2, 3])
+            journal.put("b", {"x": (4, 5)})
+            assert journal.get("a") == [1, 2, 3]
+            assert "b" in journal and "c" not in journal
+            assert journal.get("c") is MISSING
+        with RunJournal(run_dir, scope="tasks") as reloaded:
+            assert dict(reloaded.items()) == {"a": [1, 2, 3], "b": {"x": (4, 5)}}
+
+    def test_last_write_wins(self, tmp_path):
+        run_dir = str(tmp_path / "run")
+        with RunJournal(run_dir) as journal:
+            journal.put("k", "old")
+            journal.put("k", "new")
+        with RunJournal(run_dir) as reloaded:
+            assert reloaded.get("k") == "new"
+
+    def test_torn_tail_is_truncated(self, tmp_path):
+        run_dir = str(tmp_path / "run")
+        with RunJournal(run_dir) as journal:
+            journal.put("a", 1)
+            journal.put("b", 2)
+            path = journal.path
+        intact = os.path.getsize(path)
+        with open(path, "ab") as handle:
+            handle.write(b"\xff\xfe\xfd")  # torn record from a dying writer
+        with RunJournal(run_dir) as reloaded:
+            assert dict(reloaded.items()) == {"a": 1, "b": 2}
+        assert os.path.getsize(path) == intact  # tail truncated in place
+
+    def test_scopes_are_separate_files(self, tmp_path):
+        run_dir = str(tmp_path / "run")
+        with RunJournal(run_dir, scope="fault_sim") as a, RunJournal(
+            run_dir, scope="podem"
+        ) as b:
+            a.put("k", 1)
+            b.put("k", 2)
+            assert a.path != b.path
+        with RunJournal(run_dir, scope="fault_sim") as reloaded:
+            assert reloaded.get("k") == 1
+
+    def test_resolve_journal(self, tmp_path):
+        assert resolve_journal(None, "tasks") is None
+        run_dir = str(tmp_path / "run")
+        journal = resolve_journal(run_dir, "fault_sim")
+        try:
+            assert isinstance(journal, RunJournal)
+            assert journal.run_dir == run_dir and journal.scope == "fault_sim"
+            other = resolve_journal(journal, "podem")
+            try:
+                assert other.run_dir == run_dir and other.scope == "podem"
+            finally:
+                other.close()
+        finally:
+            journal.close()
+
+
+class TestTaskKey:
+    def test_content_keys_ignore_run_local_identity(self):
+        task = {"kind": "simulate", "seed": 3, "pattern_start": 0}
+        assert task_key(task, salt="s") == task_key(dict(task), salt="s")
+        assert task_key(task, salt="s") != task_key(task, salt="other")
+        with_blob = dict(task, program_blob=b"run-local-uuid-here", obs={"x": 1})
+        assert task_key(with_blob, salt="s") == task_key(task, salt="s")
+        changed = dict(task, seed=4)
+        assert task_key(changed, salt="s") != task_key(task, salt="s")
+
+    def test_program_digest_is_content_stable(self):
+        circuit = _medium_circuit()
+        backend = get_backend("cluster")
+        a = program_digest(backend.compiled_program(circuit))
+        b = program_digest(backend.compiled_program(_medium_circuit()))
+        assert a == b
+        other = generate_circuit(CircuitSpec("resume_other", 10, 12, 260, seed=7))
+        assert program_digest(backend.compiled_program(other)) != a
+
+
+# -- scheduler-level resume --------------------------------------------------
+class TestFaultSimResume:
+    def test_resume_replays_instead_of_executing(self, tmp_path):
+        circuit = _medium_circuit()
+        patterns = _patterns(circuit)
+        faults = collapse_faults(circuit)
+        run_dir = str(tmp_path / "run")
+
+        def simulator():
+            return ClusterFaultSimulator(
+                circuit,
+                transport=LocalTransport(),
+                jobs=2,
+                min_chunk_faults=2,
+                chunks_per_worker=2,
+                resume=run_dir,
+            )
+
+        results = {}
+        first = _counters(lambda: results.update(a=simulator().run(patterns, faults)))
+        assert first.get("cluster.tasks_executed", 0) > 0
+        assert first.get("cluster.tasks_replayed", 0) == 0
+        second = _counters(lambda: results.update(b=simulator().run(patterns, faults)))
+        assert second.get("cluster.tasks_replayed", 0) == first["cluster.tasks_executed"]
+        assert second.get("cluster.tasks_executed", 0) == 0
+        _assert_same(results["a"], results["b"], "journal replay")
+
+    def test_journal_is_salted_by_run_shape(self, tmp_path):
+        """Dropping vs non-dropping runs must not share journal entries."""
+        circuit = _medium_circuit()
+        patterns = _patterns(circuit)
+        faults = collapse_faults(circuit)
+        run_dir = str(tmp_path / "run")
+
+        def run(drop):
+            simulator = ClusterFaultSimulator(
+                circuit,
+                transport=LocalTransport(),
+                jobs=2,
+                min_chunk_faults=2,
+                chunks_per_worker=2,
+                resume=run_dir,
+            )
+            return simulator.run(patterns, faults, drop_detected=drop)
+
+        run(True)
+        counters = _counters(lambda: run(False))
+        assert counters.get("cluster.tasks_replayed", 0) == 0  # different salt
+
+
+class TestPodemResume:
+    def test_resume_replays_instead_of_executing(self, tmp_path):
+        circuit = _medium_circuit()
+        program = get_backend("cluster").compiled_program(circuit)
+        faults = collapse_faults(circuit)[:40]
+        run_dir = str(tmp_path / "run")
+
+        def scheduler():
+            return ClusterPodemScheduler(
+                program,
+                sites=[program.net_index[f.net] for f in faults],
+                stuck_values=[f.stuck_value for f in faults],
+                backtrack_limit=20,
+                transport=LocalTransport(),
+                jobs=2,
+                chunks_per_worker=2,
+                resume=run_dir,
+            )
+
+        results = {}
+
+        def fetch_all(tag):
+            sched = scheduler()
+            assert sched.pooled
+            results[tag] = [sched.fetch(i) for i in range(len(faults))]
+
+        first = _counters(lambda: fetch_all("a"))
+        assert first.get("cluster.tasks_executed", 0) > 0
+        second = _counters(lambda: fetch_all("b"))
+        assert second.get("cluster.tasks_replayed", 0) == first["cluster.tasks_executed"]
+        assert second.get("cluster.tasks_executed", 0) == 0
+        for raw_a, raw_b in zip(results["a"], results["b"]):
+            status_a, bits_a, backtracks_a, decisions_a = raw_a
+            status_b, bits_b, backtracks_b, decisions_b = raw_b
+            assert status_a == status_b
+            assert np.array_equal(bits_a, bits_b)
+            assert backtracks_a == backtracks_b and decisions_a == decisions_b
+
+
+# -- crash/resume parity across transports -----------------------------------
+_KILL_SCRIPT = textwrap.dedent(
+    """
+    import json, os, pickle, signal, sys
+
+    import numpy as np
+
+    from repro.atpg.collapse import collapse_faults
+    from repro.circuit.generator import CircuitSpec, generate_circuit
+    from repro.cluster import ClusterFaultSimulator, checkpoint
+    from repro.cubes.cube import TestSet
+    from repro.obs import recorder as obs
+
+
+    def main():
+        transport_spec, run_dir, out_path, kill_after = sys.argv[1:5]
+        kill_after = int(kill_after)
+        if kill_after > 0:
+            real_put = checkpoint.RunJournal.put
+            state = {"n": 0}
+
+            def killing_put(self, key, payload):
+                real_put(self, key, payload)
+                state["n"] += 1
+                if state["n"] >= kill_after:
+                    os.kill(os.getpid(), signal.SIGKILL)  # no atexit, no cleanup
+
+            checkpoint.RunJournal.put = killing_put
+
+        metrics_out = os.environ.get("RESUME_TEST_METRICS")
+        if metrics_out:
+            obs.enable()
+        circuit = generate_circuit(CircuitSpec("resume_kill", 10, 12, 260, seed=6))
+        rng = np.random.default_rng(2)
+        patterns = TestSet.from_matrix(
+            rng.integers(0, 2, size=(96, circuit.n_test_pins)).astype(np.int8)
+        )
+        faults = collapse_faults(circuit)
+        simulator = ClusterFaultSimulator(
+            circuit,
+            transport=transport_spec,
+            jobs=2,
+            min_chunk_faults=2,
+            chunks_per_worker=2,
+            resume=run_dir or None,
+        )
+        result = simulator.run(patterns, faults)
+        summary = (
+            [(repr(fault), index) for fault, index in result.detected.items()],
+            sorted(map(repr, result.undetected)),
+            result.coverage,
+        )
+        with open(out_path, "wb") as handle:
+            pickle.dump(summary, handle, protocol=4)
+        if metrics_out:
+            with open(metrics_out, "w") as handle:
+                json.dump(obs.snapshot()["counters"], handle)
+
+
+    # The guard matters: the mp transport's spawn pool re-imports this
+    # module in its workers, which must not re-run the experiment.
+    if __name__ == "__main__":
+        main()
+    """
+)
+
+
+def _subprocess_env():
+    env = dict(os.environ)
+    src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    parts = [p for p in env.get("PYTHONPATH", "").split(os.pathsep) if p]
+    if src_dir not in parts:
+        env["PYTHONPATH"] = os.pathsep.join([src_dir] + parts)
+    return env
+
+
+class TestSigkillResumeParity:
+    @pytest.fixture(scope="class")
+    def reference_summary(self, tmp_path_factory):
+        out = str(tmp_path_factory.mktemp("ref") / "ref.pickle")
+        script = str(tmp_path_factory.mktemp("script") / "kill_script.py")
+        with open(script, "w") as handle:
+            handle.write(_KILL_SCRIPT)
+        proc = subprocess.run(
+            [sys.executable, script, "local", "", out, "0"],
+            env=_subprocess_env(),
+            timeout=300,
+        )
+        assert proc.returncode == 0
+        with open(out, "rb") as handle:
+            return pickle.load(handle)
+
+    @pytest.mark.parametrize("transport", ["local", "mp", "queue"])
+    def test_parent_sigkill_then_resume_is_identical(
+        self, transport, reference_summary, tmp_path
+    ):
+        script = str(tmp_path / "kill_script.py")
+        with open(script, "w") as handle:
+            handle.write(_KILL_SCRIPT)
+        run_dir = str(tmp_path / "run")
+        out = str(tmp_path / "out.pickle")
+        env = _subprocess_env()
+        # Phase 1: parent SIGKILLs itself right after the 2nd journal put.
+        proc = subprocess.run(
+            [sys.executable, script, transport, run_dir, out, "2"],
+            env=env,
+            timeout=300,
+        )
+        assert proc.returncode == -9, "parent should have died mid-run"
+        assert not os.path.exists(out)
+        with RunJournal(run_dir, scope="fault_sim") as journal:
+            survived = len(dict(journal.items()))
+        assert survived >= 2  # fsync'd checkpoints outlived the SIGKILL
+        # Phase 2: resume in a fresh process; only the remainder executes.
+        metrics = str(tmp_path / "counters.json")
+        env["RESUME_TEST_METRICS"] = metrics
+        proc = subprocess.run(
+            [sys.executable, script, transport, run_dir, out, "0"],
+            env=env,
+            timeout=300,
+        )
+        assert proc.returncode == 0
+        with open(out, "rb") as handle:
+            resumed = pickle.load(handle)
+        assert resumed == reference_summary, f"resume parity on {transport}"
+        with open(metrics) as handle:
+            counters = json.load(handle)
+        assert counters.get("cluster.tasks_replayed", 0) >= survived
+        assert counters.get("cluster.tasks_executed", 0) >= 1
+
+
+# -- experiment-runner resume ------------------------------------------------
+class TestRunnerResume:
+    def test_run_all_resume_counters_and_parity(self, tmp_path):
+        run_dir = str(tmp_path / "run")
+        results = {}
+        first = _counters(
+            lambda: results.update(
+                a=run_all(["1"], ["b03"], seed=0, jobs=1, resume=run_dir)
+            )
+        )
+        assert first.get("runner.cells_executed", 0) == 1
+        assert first.get("runner.cells_replayed", 0) == 0
+        second = _counters(
+            lambda: results.update(
+                b=run_all(["1"], ["b03"], seed=0, jobs=1, resume=run_dir)
+            )
+        )
+        assert second.get("runner.cells_replayed", 0) == 1
+        assert second.get("runner.cells_executed", 0) == 0
+        rendered = [
+            [render_table(table) for table in results[tag]["1"]] for tag in ("a", "b")
+        ]
+        assert rendered[0] == rendered[1]
+
+    def test_runner_sigkill_resume_byte_identical_report(self, tmp_path):
+        driver = str(tmp_path / "driver.py")
+        with open(driver, "w") as handle:
+            handle.write(
+                textwrap.dedent(
+                    """
+                    import os, signal, sys
+
+                    from repro.cluster import checkpoint
+
+                    real_put = checkpoint.RunJournal.put
+                    state = {"n": 0}
+
+                    def killing_put(self, key, payload):
+                        real_put(self, key, payload)
+                        state["n"] += 1
+                        if state["n"] >= 1:
+                            os.kill(os.getpid(), signal.SIGKILL)
+
+                    checkpoint.RunJournal.put = killing_put
+                    from repro.experiments.runner import main
+
+                    sys.exit(main(sys.argv[1:]))
+                    """
+                )
+            )
+        env = _subprocess_env()
+        base = ["--artifacts", "1,2", "--benchmarks", "b03", "--seed", "0"]
+        ref = str(tmp_path / "ref.txt")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.experiments.runner"] + base + ["--out", ref],
+            env=env,
+            timeout=300,
+            stdout=subprocess.DEVNULL,
+        )
+        assert proc.returncode == 0
+        run_dir = str(tmp_path / "run")
+        out = str(tmp_path / "resumed.txt")
+        proc = subprocess.run(
+            [sys.executable, driver]
+            + base
+            + ["--resume", run_dir, "--out", str(tmp_path / "dead.txt")],
+            env=env,
+            timeout=300,
+            stdout=subprocess.DEVNULL,
+        )
+        assert proc.returncode == -9, "runner should have died after one cell"
+        metrics = str(tmp_path / "metrics.json")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.experiments.runner"]
+            + base
+            + ["--resume", run_dir, "--out", out, "--metrics", metrics],
+            env=env,
+            timeout=300,
+            stdout=subprocess.DEVNULL,
+        )
+        assert proc.returncode == 0
+        with open(ref, "rb") as handle:
+            expected = handle.read()
+        with open(out, "rb") as handle:
+            assert handle.read() == expected  # byte-identical report
+        with open(metrics) as handle:
+            counters = json.load(handle)["counters"]
+        assert counters.get("runner.cells_replayed", 0) == 1
+        assert counters.get("runner.cells_executed", 0) == 1
