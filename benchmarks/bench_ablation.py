@@ -11,7 +11,6 @@ decision of the reproduction matters:
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core.dpfill import dp_fill

@@ -16,7 +16,7 @@ import pytest
 
 from repro.core.bcp import bcp_lower_bound, solve_bcp, solve_weighted_bcp
 from repro.core.dpfill import dp_fill
-from repro.core.intervals import ExtractionPlan, extract_intervals
+from repro.core.intervals import extract_intervals
 from repro.core.ordering import interleaved_ordering
 from repro.cubes.bits import X
 from repro.cubes.cube import TestSet

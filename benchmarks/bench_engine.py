@@ -55,6 +55,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 import numpy as np
 import pytest
 
+from repro import envvars
 from repro.atpg.collapse import collapse_faults
 from repro.atpg.podem import PodemEngine
 from repro.atpg.tpg import generate_test_cubes
@@ -121,7 +122,7 @@ BENCH_JSON = Path("BENCH_engine.json")
 
 def bench_names() -> List[str]:
     """Benchmark names the engine comparison runs over."""
-    if os.environ.get("REPRO_BENCH_FULL", "0") not in ("0", "", "false", "False"):
+    if envvars.BENCH_FULL.read():
         return default_workload_names()
     return list(BENCH_NAMES)
 

@@ -9,11 +9,11 @@ scaled b14-b22 profiles on top).
 
 from __future__ import annotations
 
-import os
 from typing import List
 
 import pytest
 
+from repro import envvars
 from repro.experiments.workloads import build_workloads, default_workload_names
 
 #: Reduced benchmark subset used by default: two PODEM-flow circuits and two
@@ -23,7 +23,7 @@ BENCH_NAMES: List[str] = ["b01", "b03", "b08", "b04", "b12"]
 
 def bench_names() -> List[str]:
     """Benchmark names the harness runs over."""
-    if os.environ.get("REPRO_BENCH_FULL", "0") not in ("0", "", "false", "False"):
+    if envvars.BENCH_FULL.read():
         return default_workload_names()
     return list(BENCH_NAMES)
 

@@ -13,7 +13,7 @@ Run with ``python examples/quickstart.py``.
 
 from __future__ import annotations
 
-from repro import TestSet, dp_fill, interleaved_ordering, peak_toggles, toggle_profile
+from repro import TestSet, dp_fill, interleaved_ordering, toggle_profile
 from repro.filling import available_fillers, get_filler
 
 

@@ -1,0 +1,48 @@
+"""Project-specific static analysis and runtime sanitizers.
+
+``python -m repro.analysis [--format human|json] [--baseline FILE]
+[paths...]`` runs six AST rules encoding the invariants the dynamic
+parity suites can only spot-check:
+
+* **R1 determinism** — no unseeded RNGs, wall-clock reads or set-order
+  iteration in result-bearing modules;
+* **R2 tail-mask** — word-table consumers outside ``engine/packed.py``
+  must self-mask (``n_patterns``) or apply ``tail_mask``;
+* **R3 envvar registry** — every ``REPRO_*`` read resolves to a
+  declaration in :mod:`repro.envvars`; the README table must match;
+* **R4 spawn safety** — task handlers and pool callables must be
+  module-level and importable under spawn;
+* **R5 obs grammar** — counters/spans must parse and be declared in
+  :mod:`repro.obs.manifest`;
+* **R6 silent except** — broad handlers re-raise, emit ``obs.event``,
+  or carry a documented suppression.
+
+:mod:`repro.analysis.sanitizer` is the runtime half: under
+``REPRO_SANITIZE=1`` the cluster's merge is shadow-replayed in
+adversarial envelope orders and must reproduce the live result exactly.
+"""
+
+from repro.analysis.core import (
+    AnalysisContext,
+    AnalysisReport,
+    Finding,
+    ModuleInfo,
+    run_analysis,
+)
+from repro.analysis.registry import RULES, all_rules, project_rule, rule
+from repro.analysis.sanitizer import MergeShadow, SanitizerError, shadow_for
+
+__all__ = [
+    "AnalysisContext",
+    "AnalysisReport",
+    "Finding",
+    "MergeShadow",
+    "ModuleInfo",
+    "RULES",
+    "SanitizerError",
+    "all_rules",
+    "project_rule",
+    "rule",
+    "run_analysis",
+    "shadow_for",
+]

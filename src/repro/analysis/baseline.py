@@ -1,0 +1,64 @@
+"""Baseline files: checked-in fingerprints of accepted findings.
+
+A baseline is a small JSON document listing finding fingerprints that the
+analyzer should treat as known (grandfathered or deliberately accepted).
+Baselined findings are reported separately and never fail the run; a
+fingerprint goes stale — and silently drops out of effect — as soon as
+the offending line changes, because fingerprints hash the line's text.
+
+Format (stable, diff-friendly)::
+
+    {
+      "version": 1,
+      "fingerprints": {
+        "<hex>": "src/repro/x.py:12 R6 <message>",
+        ...
+      }
+    }
+
+The values are human context only; matching uses the keys.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Set
+
+from repro.analysis.core import Finding
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: Path) -> Set[str]:
+    """The fingerprints a baseline file accepts.
+
+    Raises:
+        ValueError: for files that are not a version-1 baseline document —
+            a malformed baseline must not silently accept nothing (or
+            everything).
+    """
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as err:
+        raise ValueError(f"baseline {path} is not valid JSON: {err}") from None
+    if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"baseline {path} must be a version-{BASELINE_VERSION} document"
+        )
+    fingerprints = data.get("fingerprints")
+    if not isinstance(fingerprints, dict):
+        raise ValueError(f"baseline {path} lacks a 'fingerprints' mapping")
+    return set(fingerprints)
+
+
+def write_baseline(path: Path, findings: Iterable[Finding]) -> None:
+    """Write ``findings`` as a fresh baseline (sorted, stable output)."""
+    entries = {
+        f.fingerprint: f"{f.path}:{f.line} {f.rule} {f.message}" for f in findings
+    }
+    document = {
+        "version": BASELINE_VERSION,
+        "fingerprints": {key: entries[key] for key in sorted(entries)},
+    }
+    path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")

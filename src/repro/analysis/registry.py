@@ -1,0 +1,72 @@
+"""Pluggable rule registry for :mod:`repro.analysis`.
+
+A *rule* bundles one invariant the parity suites only test dynamically —
+e.g. "merges must be order-independent" — into a static check.  Rules
+register themselves at import time via the :func:`rule` /
+:func:`project_rule` decorators; the runner iterates :data:`RULES` in id
+order, so adding a rule is one new module under ``repro/analysis/rules/``
+plus an import in that package's ``__init__``.
+
+Two check shapes exist:
+
+* **module checks** run once per analyzed Python file and receive
+  ``(module, ctx)`` — a parsed :class:`~repro.analysis.core.ModuleInfo`
+  and the run's :class:`~repro.analysis.core.AnalysisContext`;
+* **project checks** run once per analysis run and receive ``(ctx,)`` —
+  for whole-repo invariants such as README table drift.
+
+Both are generators yielding :class:`~repro.analysis.core.Finding`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+
+class Rule:
+    """One registered rule: an id (``R1``..), a short name and its checks."""
+
+    def __init__(self, rule_id: str, name: str, doc: str = ""):
+        self.id = rule_id
+        self.name = name
+        self.doc = doc
+        self.module_checks: List[Callable] = []
+        self.project_checks: List[Callable] = []
+
+
+#: All registered rules, keyed by rule id.
+RULES: Dict[str, Rule] = {}
+
+
+def _get(rule_id: str, name: str, doc: str) -> Rule:
+    entry = RULES.get(rule_id)
+    if entry is None:
+        entry = RULES[rule_id] = Rule(rule_id, name, doc)
+    if doc and not entry.doc:
+        entry.doc = doc
+    return entry
+
+
+def rule(rule_id: str, name: str):
+    """Register a per-module check under ``rule_id``."""
+
+    def wrap(fn: Callable) -> Callable:
+        _get(rule_id, name, fn.__doc__ or "").module_checks.append(fn)
+        return fn
+
+    return wrap
+
+
+def project_rule(rule_id: str, name: str):
+    """Register a once-per-run project check under ``rule_id``."""
+
+    def wrap(fn: Callable) -> Callable:
+        _get(rule_id, name, fn.__doc__ or "").project_checks.append(fn)
+        return fn
+
+    return wrap
+
+
+def all_rules() -> List[Rule]:
+    """Registered rules in id order (stable report ordering)."""
+    return [RULES[key] for key in sorted(RULES)]

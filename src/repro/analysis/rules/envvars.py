@@ -1,0 +1,132 @@
+"""R3 — the REPRO_* environment-variable registry.
+
+Every ``REPRO_*`` knob must be declared exactly once in
+:mod:`repro.envvars` — name, strict parser, default and doc line — and
+every read must go through that declaration (``envvars.X.read()``).
+Scattered ``os.environ.get("REPRO_...")`` reads are how the historical
+drift happened: three call sites, three different truthiness rules, and
+a README that documented none of them.
+
+Per-module checks:
+
+* a direct ``os.environ[...]`` / ``os.environ.get(...)`` /
+  ``os.getenv(...)`` read of a literal ``REPRO_*`` name outside
+  ``repro/envvars.py`` is a finding, even when the name is declared —
+  the declaration's parser and default are being bypassed;
+* any env read of a literal ``REPRO_*`` name that is **not** declared in
+  the registry is a finding everywhere.
+
+Project check: the README's generated env-var table (between the
+``envvar-table`` markers) must match :func:`repro.envvars.render_table`
+exactly — regenerate with ``python -m repro.envvars --write-readme``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+from repro import envvars as registry_module
+from repro.analysis.core import AnalysisContext, Finding, ModuleInfo
+from repro.analysis.registry import project_rule, rule
+
+
+def _is_registry_module(module: ModuleInfo) -> bool:
+    parts = module.repro_parts()
+    return bool(parts) and parts[-1] == "envvars.py" and len(parts) == 1
+
+
+def _literal_env_name(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _env_reads(tree: ast.Module) -> List[Tuple[int, str]]:
+    """(line, name) for every literal env read via os.environ/os.getenv."""
+    reads: List[Tuple[int, str]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Subscript):
+            value = node.value
+            if (
+                isinstance(value, ast.Attribute)
+                and value.attr == "environ"
+                and isinstance(value.value, ast.Name)
+                and value.value.id == "os"
+                and isinstance(getattr(node, "ctx", None), ast.Load)
+            ):
+                name = _literal_env_name(node.slice)
+                if name is not None:
+                    reads.append((node.lineno, name))
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                # os.getenv(...) and os.environ.get(...)
+                if (
+                    func.attr == "getenv"
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "os"
+                ) or (
+                    func.attr == "get"
+                    and isinstance(func.value, ast.Attribute)
+                    and func.value.attr == "environ"
+                    and isinstance(func.value.value, ast.Name)
+                    and func.value.value.id == "os"
+                ):
+                    if node.args:
+                        name = _literal_env_name(node.args[0])
+                        if name is not None:
+                            reads.append((node.lineno, name))
+    return reads
+
+
+@rule("R3", "envvar-registry")
+def check_env_reads(module: ModuleInfo, ctx: AnalysisContext) -> Iterator[Finding]:
+    """Flag REPRO_* env reads bypassing or missing the registry."""
+    in_registry = _is_registry_module(module)
+    for line, name in _env_reads(module.tree):
+        if not name.startswith("REPRO_"):
+            continue
+        if not registry_module.is_declared(name):
+            yield module.finding(
+                "R3",
+                line,
+                f"env var {name} is not declared in repro.envvars; add a "
+                "declare(...) entry with a parser, default and doc line",
+            )
+        elif not in_registry:
+            yield module.finding(
+                "R3",
+                line,
+                f"direct os read of {name} bypasses its repro.envvars "
+                f"declaration; use envvars.{name[len('REPRO_'):]}.read()",
+            )
+
+
+@project_rule("R3", "envvar-registry")
+def check_readme_table(ctx: AnalysisContext) -> Iterator[Finding]:
+    """Flag README env-var table drift against the registry."""
+    readme = ctx.root / "README.md"
+    if not readme.exists():
+        return
+    text = readme.read_text(encoding="utf-8")
+    begin, end = registry_module.TABLE_BEGIN, registry_module.TABLE_END
+    if begin not in text or end not in text:
+        yield ctx.project_finding(
+            "R3",
+            "README.md",
+            1,
+            "README.md lacks the generated env-var table markers "
+            f"({begin} / {end})",
+        )
+        return
+    inner = text.split(begin, 1)[1].split(end, 1)[0].strip()
+    if inner != registry_module.render_table().strip():
+        line = text[: text.index(begin)].count("\n") + 1
+        yield ctx.project_finding(
+            "R3",
+            "README.md",
+            line,
+            "README env-var table is stale; regenerate with "
+            "python -m repro.envvars --write-readme",
+        )

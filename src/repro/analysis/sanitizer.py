@@ -1,0 +1,122 @@
+"""Runtime order-independence sanitizer (``REPRO_SANITIZE=1``).
+
+The cluster's correctness rests on one algebraic fact: the first-detect
+merge (:func:`repro.cluster.protocol.min_merge`) is commutative,
+associative and idempotent, so result envelopes may arrive in any order,
+duplicated, from any transport — and the merged vector is identical.
+The parity suites test that fact empirically for the schedules they
+happen to produce; the sanitizer checks it on *every* run it is armed
+for, against adversarial schedules the real transports may never emit.
+
+With ``REPRO_SANITIZE=1``, :class:`MergeShadow` records every
+``(positions, chunk_first)`` envelope the live merge consumed, then
+re-merges the same envelopes from scratch in reversed and in
+fixed-seed-shuffled order and asserts the result equals the live vector
+byte-for-byte.  A mismatch raises :class:`SanitizerError` — loudly, with
+the diverging positions — instead of letting an order-dependent merge
+ship behind a lucky schedule.
+
+Cost: O(envelopes) memory and two extra in-process merges; no tasks are
+re-executed.  Each verification bumps the ``cluster.sanitize_checks``
+counter so runs can prove the sanitizer was actually armed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro import envvars
+from repro.obs import recorder as obs
+
+#: Fixed shuffle seed: the adversarial order must itself replay identically.
+SHUFFLE_SEED = 0x5EED
+
+
+class SanitizerError(AssertionError):
+    """A shadow re-merge diverged from the live merge: order dependence."""
+
+
+def enabled() -> bool:
+    """Whether ``REPRO_SANITIZE`` arms the sanitizer for this process."""
+    return envvars.SANITIZE.read()
+
+
+class MergeShadow:
+    """Records merge envelopes and replays them in adversarial orders.
+
+    Args:
+        n_items: length of the merged vector (one slot per fault).
+        merge: the in-place merge ``merge(acc, positions, values)``; must
+            be the same callable the live path uses.
+        label: run identifier used in failure messages.
+    """
+
+    def __init__(
+        self,
+        n_items: int,
+        merge: Callable[[List[Optional[int]], Sequence[int], Sequence[Optional[int]]], None],
+        label: str = "merge",
+    ):
+        self.n_items = int(n_items)
+        self.merge = merge
+        self.label = label
+        self.records: List[Tuple[List[int], List[Optional[int]]]] = []
+
+    def record(self, positions: Sequence[int], values: Sequence[Optional[int]]) -> None:
+        """Capture one result envelope exactly as the live merge saw it."""
+        self.records.append((list(positions), list(values)))
+
+    def _replay(self, order: Sequence[int]) -> List[Optional[int]]:
+        merged: List[Optional[int]] = [None] * self.n_items
+        for index in order:
+            positions, values = self.records[index]
+            self.merge(merged, positions, values)
+        return merged
+
+    def _orders(self) -> List[List[int]]:
+        count = len(self.records)
+        reversed_order = list(range(count - 1, -1, -1))
+        shuffled = list(range(count))
+        random.Random(SHUFFLE_SEED).shuffle(shuffled)
+        return [reversed_order, shuffled]
+
+    def verify(self, live: Sequence[Optional[int]]) -> None:
+        """Assert the recorded envelopes merge order-independently to ``live``.
+
+        Raises:
+            SanitizerError: when any adversarial order produces a different
+                merged vector than the live run.
+        """
+        expected = list(live)
+        if len(expected) != self.n_items:
+            raise SanitizerError(
+                f"{self.label}: live vector has {len(expected)} items, "
+                f"shadow expected {self.n_items}"
+            )
+        for order in self._orders():
+            replayed = self._replay(order)
+            obs.counter("cluster.sanitize_checks")
+            if replayed != expected:
+                diverged = [
+                    index
+                    for index, (got, want) in enumerate(zip(replayed, expected))
+                    if got != want
+                ]
+                raise SanitizerError(
+                    f"{self.label}: shadow re-merge of {len(self.records)} "
+                    f"result envelopes in permuted order diverged from the "
+                    f"live merge at {len(diverged)} position(s) "
+                    f"(first: {diverged[:5]}) — the merge is order-dependent"
+                )
+
+
+def shadow_for(
+    n_items: int,
+    merge: Callable[[List[Optional[int]], Sequence[int], Sequence[Optional[int]]], None],
+    label: str = "merge",
+) -> Optional[MergeShadow]:
+    """A :class:`MergeShadow` when the sanitizer is armed, else ``None``."""
+    if not enabled():
+        return None
+    return MergeShadow(n_items, merge, label=label)

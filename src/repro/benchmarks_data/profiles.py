@@ -17,7 +17,7 @@ explicit, documented assumption rather than a hidden one.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 
 @dataclass(frozen=True)

@@ -13,7 +13,7 @@ from typing import Optional
 
 from repro.benchmarks_data.profiles import get_profile
 from repro.circuit.gates import GateType
-from repro.circuit.generator import CircuitSpec, generate_circuit, scaled_spec
+from repro.circuit.generator import generate_circuit, scaled_spec
 from repro.circuit.netlist import Circuit
 
 

@@ -20,7 +20,7 @@ directly.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, Mapping, Sequence
 
 import numpy as np
 

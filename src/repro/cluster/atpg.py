@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import traceback
 from collections import deque
-from typing import Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, List, Optional, Sequence
 
 from repro.cluster.checkpoint import MISSING, program_digest, resolve_journal, task_key
 from repro.cluster.protocol import (

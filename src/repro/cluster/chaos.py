@@ -31,13 +31,14 @@ still complete correctly.
 
 from __future__ import annotations
 
-import os
 from collections import defaultdict
 from hashlib import blake2b
 from typing import Dict, Optional, Tuple
 
+from repro import envvars
+
 #: Environment variable arming the chaos injector (``seed:spec``).
-CHAOS_ENV_VAR = "REPRO_CHAOS"
+CHAOS_ENV_VAR = envvars.CHAOS.name
 
 #: Failure kinds the injector understands.
 CHAOS_KINDS = ("kill", "stall", "corrupt", "dup", "enospc")
@@ -129,7 +130,7 @@ def env_injector() -> Optional[ChaosInjector]:
     within one process; a changed/cleared variable rebuilds or disarms it.
     """
     global _cached
-    value = os.environ.get(CHAOS_ENV_VAR, "").strip() or None
+    value = envvars.CHAOS.read()
     if value == _cached[0]:
         return _cached[1]
     injector = None

@@ -30,6 +30,8 @@ import struct
 from hashlib import blake2b
 from typing import Any, Dict, Iterator, Optional, Tuple
 
+from repro.obs import recorder as obs
+
 #: Returned by :meth:`RunJournal.get` for a missing key (results may be None).
 MISSING = object()
 
@@ -133,6 +135,12 @@ class RunJournal:
             try:
                 key, payload = pickle.loads(blob)
             except Exception:
+                # Checksummed-but-unloadable entry (e.g. a class renamed
+                # between runs): treat as the journal's torn tail and replay
+                # from here — but leave evidence for the event log.
+                obs.event(
+                    "checkpoint_truncated", path=str(self.path), offset=offset
+                )
                 break
             self._entries[key] = payload
             offset = valid_end = end

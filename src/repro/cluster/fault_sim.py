@@ -20,6 +20,7 @@ from __future__ import annotations
 import traceback
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.analysis.sanitizer import shadow_for
 from repro.circuit.netlist import Circuit
 from repro.circuit.simulator import check_pattern_matrix
 from repro.cluster.executor import stream_tasks
@@ -105,6 +106,11 @@ def run_fault_plan(
         program, matrix, n_patterns, use_words, block_patterns, drop_detected
     )
     first: List[Optional[int]] = [None] * n_faults
+    # REPRO_SANITIZE=1: shadow-record every merged envelope and re-merge in
+    # adversarial orders after the run; order dependence aborts the run.
+    shadow = shadow_for(
+        n_faults, min_merge, label=f"fault_plan/{program.name}/{mode}"
+    )
     stats["mode"] = mode
     stats["fault_mode"] = base_task["fault_mode"]
     if max_inflight is None:
@@ -128,6 +134,8 @@ def run_fault_plan(
 
         def on_result(positions, payload):
             chunk_first, chunk_stats = payload
+            if shadow is not None:
+                shadow.record(positions, chunk_first)
             min_merge(first, positions, chunk_first)
             merge_chunk_stats(stats, chunk_stats)
             if chunker is not None:
@@ -163,6 +171,8 @@ def run_fault_plan(
 
         def on_result(positions, payload):
             chunk_first, chunk_stats = payload
+            if shadow is not None:
+                shadow.record(positions, chunk_first)
             min_merge(first, positions, chunk_first)
             merge_chunk_stats(stats, chunk_stats)
 
@@ -182,6 +192,8 @@ def run_fault_plan(
             else None
         ),
     )
+    if shadow is not None:
+        shadow.verify(first)
     return first
 
 

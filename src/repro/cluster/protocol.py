@@ -36,7 +36,6 @@ results — only scheduling.
 
 from __future__ import annotations
 
-import os
 import pickle
 import uuid
 import weakref
@@ -46,6 +45,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import envvars
 from repro.engine.compile import CompiledCircuit
 from repro.engine.fault import (
     _new_stats,
@@ -76,13 +76,13 @@ MIN_CHUNK_FAULTS = 8
 CHUNK_STAT_KEYS = ("blocks", "cone_evaluations", "dropped_block_evaluations")
 
 #: Environment variable forcing the fault-chunk plan (``adaptive``/``static``).
-CHUNK_PLAN_ENV_VAR = "REPRO_CHUNK_PLAN"
+CHUNK_PLAN_ENV_VAR = envvars.CHUNK_PLAN.name
 
-CHUNK_PLANS = ("adaptive", "static")
+CHUNK_PLANS = envvars.CHUNK_PLANS
 
 #: Environment variable marking a process as a cluster worker; simulators
 #: inside a worker always run inline (never nest executors).
-WORKER_ENV_VAR = "REPRO_CLUSTER_WORKER"
+WORKER_ENV_VAR = envvars.CLUSTER_WORKER.name
 
 _in_worker_context = 0
 
@@ -94,7 +94,7 @@ def resolve_chunk_plan(plan: Optional[str] = None) -> str:
         ValueError: for names outside :data:`CHUNK_PLANS`.
     """
     if plan is None:
-        plan = os.environ.get(CHUNK_PLAN_ENV_VAR, "").strip() or "adaptive"
+        plan = envvars.CHUNK_PLAN.read() or "adaptive"
     if plan not in CHUNK_PLANS:
         raise ValueError(f"unknown chunk plan {plan!r}; choose from {CHUNK_PLANS}")
     return plan
@@ -111,7 +111,7 @@ def in_worker_context() -> bool:
     """
     if _in_worker_context > 0:
         return True
-    if os.environ.get(WORKER_ENV_VAR, "").strip():
+    if envvars.CLUSTER_WORKER.is_set():
         return True
     import multiprocessing
 
@@ -146,6 +146,8 @@ def pickled_program(program: CompiledCircuit) -> Tuple[str, bytes]:
         ref, key, blob = entry
         if ref() is program:
             return key, blob
+    # repro: allow[R1] the key is a worker-cache identity for this process's
+    # program blob, used for dedup only — it never reaches result payloads.
     key = f"{program.name}:{uuid.uuid4().hex}"
     blob = pickle.dumps(program, protocol=pickle.HIGHEST_PROTOCOL)
     _blob_cache[ident] = (

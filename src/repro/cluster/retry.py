@@ -26,10 +26,13 @@ import os
 import pickle
 import time
 from hashlib import blake2b
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, Optional, Sequence
+
+from repro import envvars
+from repro.envvars import parse_task_retries
 
 #: Environment variable sizing every queue task's retry budget.
-TASK_RETRIES_ENV_VAR = "REPRO_TASK_RETRIES"
+TASK_RETRIES_ENV_VAR = envvars.TASK_RETRIES.name
 
 #: Re-enqueues granted to a task before it is quarantined.
 DEFAULT_TASK_RETRIES = 3
@@ -44,27 +47,6 @@ BACKOFF_CAP = 5.0
 QUARANTINE_DIR = "quarantine"
 
 
-def parse_task_retries(value: object, source: str = "task retries") -> int:
-    """Parse a retry budget, rejecting anything but an integer >= 0.
-
-    Mirrors :func:`repro.engine.pool.parse_jobs`: every surface the budget
-    can arrive from (env var, transport argument, python callers) gets the
-    same clear error instead of an opaque failure deep in the retry path.
-
-    Raises:
-        ValueError: for non-integer or negative values.
-    """
-    try:
-        retries = int(str(value).strip())
-    except (TypeError, ValueError):
-        raise ValueError(
-            f"{source} must be a non-negative integer, got {value!r}"
-        ) from None
-    if retries < 0:
-        raise ValueError(f"{source} must be a non-negative integer, got {value!r}")
-    return retries
-
-
 def resolve_task_retries(value: Optional[int] = None) -> int:
     """Resolve the retry budget (explicit argument > env var > default).
 
@@ -73,9 +55,9 @@ def resolve_task_retries(value: Optional[int] = None) -> int:
     """
     if value is not None:
         return parse_task_retries(value)
-    env = os.environ.get(TASK_RETRIES_ENV_VAR, "").strip()
-    if env:
-        return parse_task_retries(env, source=TASK_RETRIES_ENV_VAR)
+    env = envvars.TASK_RETRIES.read()
+    if env is not None:
+        return env
     return DEFAULT_TASK_RETRIES
 
 

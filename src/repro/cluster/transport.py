@@ -49,7 +49,9 @@ import uuid
 from collections import deque
 from typing import Dict, List, Optional, Tuple
 
+from repro import envvars
 from repro.cluster.chaos import worker_injector as chaos_worker_injector
+from repro.envvars import parse_lease_timeout
 from repro.cluster.protocol import (
     WORKER_ENV_VAR,
     execute_task,
@@ -74,49 +76,26 @@ from repro.engine.pool import (
 
 #: Environment variable selecting the cluster transport
 #: (``local`` / ``mp`` / ``queue`` / ``queue:<spool dir>``).
-TRANSPORT_ENV_VAR = "REPRO_TRANSPORT"
+TRANSPORT_ENV_VAR = envvars.TRANSPORT.name
 
 #: Environment variable naming a queue spool directory to attach to.
-QUEUE_DIR_ENV_VAR = "REPRO_QUEUE_DIR"
+QUEUE_DIR_ENV_VAR = envvars.QUEUE_DIR.name
 
 #: Environment variable sizing the queue transport's spawned worker set.
-QUEUE_WORKERS_ENV_VAR = "REPRO_QUEUE_WORKERS"
+QUEUE_WORKERS_ENV_VAR = envvars.QUEUE_WORKERS.name
 
 TRANSPORTS = ("local", "mp", "queue")
 
 DEFAULT_TRANSPORT_NAME = "mp"
 
 #: Environment variable overriding the queue lease timeout (seconds).
-LEASE_TIMEOUT_ENV_VAR = "REPRO_LEASE_TIMEOUT"
+LEASE_TIMEOUT_ENV_VAR = envvars.LEASE_TIMEOUT.name
 
 #: Seconds without a lease heartbeat before a claimed task is re-enqueued.
 DEFAULT_LEASE_TIMEOUT = 15.0
 
 _default_name: Optional[str] = None
 _default_lease_timeout: Optional[float] = None
-
-
-def parse_lease_timeout(value: object, source: str = "lease timeout") -> float:
-    """Parse a lease timeout, rejecting anything but a positive number.
-
-    Same strictness as :func:`repro.engine.pool.parse_jobs`: a mistyped
-    timeout must fail loudly at configuration time, not as a mysterious
-    hang or instant-retry storm mid-run.
-
-    Raises:
-        ValueError: for non-numeric or non-positive values.
-    """
-    try:
-        timeout = float(str(value).strip())
-    except (TypeError, ValueError):
-        raise ValueError(
-            f"{source} must be a positive number of seconds, got {value!r}"
-        ) from None
-    if not timeout > 0:
-        raise ValueError(
-            f"{source} must be a positive number of seconds, got {value!r}"
-        )
-    return timeout
 
 
 def set_default_lease_timeout(value: Optional[float]) -> Optional[float]:
@@ -150,9 +129,9 @@ def resolve_lease_timeout(value: Optional[float] = None) -> float:
         return parse_lease_timeout(value)
     if _default_lease_timeout is not None:
         return _default_lease_timeout
-    env = os.environ.get(LEASE_TIMEOUT_ENV_VAR, "").strip()
-    if env:
-        return parse_lease_timeout(env, source=LEASE_TIMEOUT_ENV_VAR)
+    env = envvars.LEASE_TIMEOUT.read()
+    if env is not None:
+        return env
     return DEFAULT_LEASE_TIMEOUT
 
 
@@ -1091,7 +1070,7 @@ def default_transport_name() -> str:
     """The transport spec used when none is requested explicitly."""
     if _default_name is not None:
         return _default_name
-    return os.environ.get(TRANSPORT_ENV_VAR, "").strip() or DEFAULT_TRANSPORT_NAME
+    return envvars.TRANSPORT.read() or DEFAULT_TRANSPORT_NAME
 
 
 def set_default_transport(spec: Optional[str]) -> Optional[str]:
@@ -1126,23 +1105,13 @@ def parse_transport_spec(spec: str) -> Tuple[str, Optional[str]]:
         raise ValueError(f"only the queue transport takes a spool dir, got {spec!r}")
     spool = rest.strip() or None
     if name == "queue" and spool is None:
-        spool = os.environ.get(QUEUE_DIR_ENV_VAR, "").strip() or None
+        spool = envvars.QUEUE_DIR.read()
     return name, spool
 
 
 def _queue_workers(owns_spool: bool, jobs: int) -> int:
-    env = os.environ.get(QUEUE_WORKERS_ENV_VAR, "").strip()
-    if env:
-        try:
-            workers = int(env)
-        except ValueError:
-            raise ValueError(
-                f"{QUEUE_WORKERS_ENV_VAR} must be a non-negative integer, got {env!r}"
-            ) from None
-        if workers < 0:
-            raise ValueError(
-                f"{QUEUE_WORKERS_ENV_VAR} must be a non-negative integer, got {env!r}"
-            )
+    workers = envvars.QUEUE_WORKERS.read()
+    if workers is not None:
         return workers
     return jobs if owns_spool else 0
 
@@ -1202,8 +1171,8 @@ def discard_transport(transport: Transport) -> None:
             del _shared[key]
     try:
         transport.close()
-    except Exception:
-        pass
+    except Exception:  # repro: allow[R6] discard runs on already-broken
+        pass  # transports; a failing close is the expected case here
 
 
 def shutdown_shared_transports() -> None:
@@ -1211,8 +1180,8 @@ def shutdown_shared_transports() -> None:
     for transport in list(_shared.values()):
         try:
             transport.close()
-        except Exception:
-            pass
+        except Exception:  # repro: allow[R6] atexit teardown: workers and
+            pass  # the event spool may already be gone mid-interpreter-exit
     _shared.clear()
 
 

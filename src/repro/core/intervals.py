@@ -28,12 +28,12 @@ Per row, the specified bits split the pattern axis into stretches:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.cubes.bits import BIT_DTYPE, ONE, X, ZERO
+from repro.cubes.bits import BIT_DTYPE, X, ZERO
 from repro.cubes.cube import TestSet
 
 

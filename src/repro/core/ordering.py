@@ -17,7 +17,7 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
-from repro.core.dpfill import optimal_peak_for_ordering, optimal_peak_for_permutation
+from repro.core.dpfill import optimal_peak_for_permutation
 from repro.core.intervals import ExtractionPlan, ExtractionResult, extract_intervals
 from repro.cubes.cube import TestSet
 

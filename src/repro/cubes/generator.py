@@ -23,7 +23,6 @@ stretches that DP-fill and I-Ordering exploit.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 

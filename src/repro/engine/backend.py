@@ -23,10 +23,10 @@ engine tests and as an escape hatch (``REPRO_BACKEND=naive``).
 
 from __future__ import annotations
 
-import os
 import weakref
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Union
 
+from repro import envvars
 from repro.circuit.netlist import Circuit
 from repro.circuit.simulator import LogicSimulator
 from repro.engine.compile import CompiledCircuit, compile_circuit
@@ -34,7 +34,7 @@ from repro.engine.fault import NaiveFaultSimulator, PackedFaultSimulator
 from repro.engine.packed import PackedLogicSimulator
 
 #: Environment variable overriding the default backend name.
-BACKEND_ENV_VAR = "REPRO_BACKEND"
+BACKEND_ENV_VAR = envvars.BACKEND.name
 
 DEFAULT_BACKEND_NAME = "packed"
 
@@ -140,7 +140,7 @@ def default_backend_name() -> str:
     """The name used when no backend is requested explicitly."""
     if _default_name is not None:
         return _default_name
-    return os.environ.get(BACKEND_ENV_VAR) or DEFAULT_BACKEND_NAME
+    return envvars.BACKEND.read() or DEFAULT_BACKEND_NAME
 
 
 def set_default_backend(name: Optional[str]) -> Optional[str]:

@@ -45,12 +45,12 @@ on the engine without an import cycle.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro import envvars
 from repro.circuit.gates import GateType, evaluate_bool
 from repro.circuit.netlist import Circuit
 from repro.circuit.simulator import LogicSimulator, check_pattern_matrix
@@ -60,7 +60,6 @@ from repro.engine.compile import (
     OP_AND,
     OP_BUF,
     OP_CONST0,
-    OP_CONST1,
     OP_NAND,
     OP_NOR,
     OP_NOT,
@@ -92,9 +91,9 @@ DROP_BLOCK_PATTERNS = 128
 WORD_DROP_BLOCK_PATTERNS = 4096
 
 #: Environment variable forcing the packed fault-grading mode process-wide.
-FAULT_MODE_ENV_VAR = "REPRO_FAULT_MODE"
+FAULT_MODE_ENV_VAR = envvars.FAULT_MODE.name
 
-FAULT_MODES = ("auto", "lanes", "words")
+FAULT_MODES = envvars.FAULT_MODES
 
 
 def resolve_fault_mode(mode: Optional[str] = None) -> str:
@@ -104,7 +103,7 @@ def resolve_fault_mode(mode: Optional[str] = None) -> str:
         ValueError: for names outside :data:`FAULT_MODES`.
     """
     if mode is None:
-        mode = os.environ.get(FAULT_MODE_ENV_VAR, "").strip() or "auto"
+        mode = envvars.FAULT_MODE.read() or "auto"
     if mode not in FAULT_MODES:
         raise ValueError(f"unknown fault mode {mode!r}; choose from {FAULT_MODES}")
     return mode

@@ -23,8 +23,12 @@ import multiprocessing
 import os
 from typing import Optional
 
+from repro import envvars
+from repro.envvars import parse_jobs
+from repro.obs import recorder as obs
+
 #: Environment variable sizing the worker pool (``--jobs`` on the runner).
-JOBS_ENV_VAR = "REPRO_JOBS"
+JOBS_ENV_VAR = envvars.JOBS.name
 
 #: Seconds to wait for the pool's import smoke test / one chunk result.
 PING_TIMEOUT = 30.0
@@ -33,39 +37,13 @@ CHUNK_TIMEOUT = 600.0
 _default_jobs: Optional[int] = None
 
 
-def parse_jobs(value: object, source: str = "jobs") -> int:
-    """Parse a worker count, rejecting anything but an integer >= 1.
-
-    Worker counts reach the pool from several surfaces (``--jobs``,
-    ``REPRO_JOBS``, python callers); validating here gives every one of them
-    the same clear error instead of an opaque traceback deep inside pool
-    construction (or a silent clamp hiding a typo like ``--jobs -4``).
-
-    Args:
-        value: the raw value (string or number).
-        source: label naming the offending surface in the error message.
-
-    Raises:
-        ValueError: for non-integer or non-positive values.
-    """
-    try:
-        jobs = int(str(value).strip())
-    except (TypeError, ValueError):
-        raise ValueError(
-            f"{source} must be a positive integer, got {value!r}"
-        ) from None
-    if jobs < 1:
-        raise ValueError(f"{source} must be a positive integer, got {value!r}")
-    return jobs
-
-
 def default_jobs() -> int:
     """Worker count used when none is requested explicitly."""
     if _default_jobs is not None:
         return _default_jobs
-    env = os.environ.get(JOBS_ENV_VAR, "").strip()
-    if env:
-        return parse_jobs(env, source=JOBS_ENV_VAR)
+    env = envvars.JOBS.read()
+    if env is not None:
+        return env
     return os.cpu_count() or 1
 
 
@@ -161,7 +139,8 @@ def worker_pool(jobs: int):
     try:
         pool = multiprocessing.get_context("spawn").Pool(processes=jobs)
         pool.apply_async(_ping).get(timeout=PING_TIMEOUT)
-    except Exception:
+    except Exception as err:
+        obs.event("pool_unavailable", detail=repr(err))
         _pool_broken = True
         if pool is not None:
             pool.terminate()

@@ -67,7 +67,6 @@ from repro.cluster.transport import MpTransport, TransportError
 from repro.engine.backend import PackedBackend, available_backends, register_backend
 from repro.engine.compile import CompiledCircuit
 from repro.engine.pool import (
-    CHUNK_TIMEOUT as _CHUNK_TIMEOUT,
     JOBS_ENV_VAR,
     default_jobs,
     discard_broken_pool as _discard_broken_pool,

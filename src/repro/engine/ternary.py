@@ -45,9 +45,9 @@ across the single-process, sharded and cluster paths.
 
 from __future__ import annotations
 
-import os
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro import envvars
 from repro.engine.compile import (
     CompiledCircuit,
     OP_AND,
@@ -65,9 +65,9 @@ from repro.engine.compile import (
 #: Environment variable forcing the PODEM implication implementation
 #: process-wide (``dict`` keeps the reference oracle, ``compiled`` forces
 #: this engine even under the naive backend).
-ATPG_MODE_ENV_VAR = "REPRO_ATPG_MODE"
+ATPG_MODE_ENV_VAR = envvars.ATPG_MODE.name
 
-ATPG_MODES = ("auto", "dict", "compiled")
+ATPG_MODES = envvars.ATPG_MODES
 
 #: Two-plane ternary codes: bit 0 = "can be 0", bit 1 = "can be 1".
 T_ZERO = 0b01
@@ -92,7 +92,7 @@ def resolve_atpg_mode(mode: Optional[str] = None) -> str:
         ValueError: for names outside :data:`ATPG_MODES`.
     """
     if mode is None:
-        mode = os.environ.get(ATPG_MODE_ENV_VAR, "").strip() or "auto"
+        mode = envvars.ATPG_MODE.read() or "auto"
     if mode not in ATPG_MODES:
         raise ValueError(f"unknown ATPG mode {mode!r}; choose from {ATPG_MODES}")
     return mode

@@ -11,7 +11,7 @@ from typing import Dict, List, Optional
 
 from repro.cubes.cube import TestSet
 from repro.experiments.report import TableResult
-from repro.experiments.workloads import Workload, build_workloads
+from repro.experiments.workloads import build_workloads
 from repro.filling import get_filler
 from repro.orderings import get_ordering
 

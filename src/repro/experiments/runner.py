@@ -40,12 +40,12 @@ before re-enqueuing a claimed-but-unfinished task.
 from __future__ import annotations
 
 import argparse
-import os
 import sys
 import time
 from hashlib import blake2b
 from typing import Dict, List, Optional, Tuple
 
+from repro import envvars
 from repro.cluster.checkpoint import MISSING, RunJournal, resolve_journal
 from repro.cluster.protocol import cell_task, unwrap_payload
 from repro.cluster.transport import (
@@ -63,9 +63,8 @@ from repro.engine.backend import (
     get_backend,
     set_default_backend,
 )
+from repro.engine.pool import CHUNK_TIMEOUT as _CHUNK_TIMEOUT
 from repro.engine.sharded import (
-    _CHUNK_TIMEOUT,
-    JOBS_ENV_VAR,
     parse_jobs,
     set_default_jobs,
     worker_pool,
@@ -251,9 +250,10 @@ def _run_all_parallel(
                 # killed mid-cell is respawned by the pool but its task
                 # never completes); it lands in the inline fallback below.
                 part = unwrap_payload(cell_id, handle.get(timeout=_CHUNK_TIMEOUT))
-            except Exception:
+            except Exception as err:
                 # Worker-side failure (unpicklable custom backend, dead
                 # worker, ...): redo just this cell in process.
+                obs.event("cell_inline_fallback", cell=cell_id, detail=repr(err))
                 part = _run_cell(cell, seed)
             _journal_put(journal, key, part)
             parts.append(part)
@@ -312,8 +312,10 @@ def _run_all_transport(
                 pending.discard(err.task_id)
                 continue
             break
-        except Exception:
-            break  # transport gone: every still-pending cell re-runs inline
+        except Exception as err:
+            # Transport gone: every still-pending cell re-runs inline.
+            obs.event("transport_lost", detail=repr(err))
+            break
         if task_id in pending:
             pending.discard(task_id)
             collected[task_id] = payload
@@ -510,9 +512,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.jobs is not None:
         jobs = args.jobs  # already validated by the argparse type
     else:
-        env = os.environ.get(JOBS_ENV_VAR, "").strip()
         try:
-            jobs = parse_jobs(env, source=JOBS_ENV_VAR) if env else 1
+            jobs = envvars.JOBS.read() or 1
         except ValueError as err:
             print(f"dpfill-experiments: error: {err.args[0]}", file=sys.stderr)
             return 2

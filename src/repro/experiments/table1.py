@@ -13,7 +13,7 @@ from typing import List, Optional
 
 from repro.benchmarks_data.profiles import get_profile
 from repro.experiments.report import TableResult
-from repro.experiments.workloads import Workload, build_workloads
+from repro.experiments.workloads import build_workloads
 
 COLUMNS = [
     "circuit",

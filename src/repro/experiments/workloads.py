@@ -37,6 +37,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro import envvars
 from repro.atpg.tpg import generate_test_cubes
 from repro.benchmarks_data.profiles import BenchmarkProfile, get_profile
 from repro.circuit.library import itc99_like
@@ -80,8 +81,8 @@ class Workload:
 
 
 def _cache_dir() -> Optional[Path]:
-    value = os.environ.get("REPRO_CACHE_DIR", ".repro_cache")
-    if value.lower() in ("0", "off", "none", ""):
+    value = envvars.CACHE_DIR.read()
+    if value is None:
         return None
     path = Path(value)
     path.mkdir(parents=True, exist_ok=True)
@@ -90,12 +91,12 @@ def _cache_dir() -> Optional[Path]:
 
 def include_large_profiles() -> bool:
     """Whether the harness should also build the largest ITC'99 profiles."""
-    return os.environ.get("REPRO_INCLUDE_LARGE", "0") not in ("0", "", "false", "False")
+    return envvars.INCLUDE_LARGE.read()
 
 
 def full_scale() -> bool:
     """Whether large profiles should be built at their full published size."""
-    return os.environ.get("REPRO_FULL_SCALE", "0") not in ("0", "", "false", "False")
+    return envvars.FULL_SCALE.read()
 
 
 def default_workload_names(include_large: Optional[bool] = None) -> List[str]:
@@ -116,8 +117,8 @@ def _load_cached_cubes(key: str, n_pins: int) -> Optional[TestSet]:
         return None
     try:
         data = np.load(path)["cubes"]
-    except Exception:  # pragma: no cover - corrupt cache entries are ignored
-        return None
+    except Exception:  # pragma: no cover  # repro: allow[R6] corrupt cache
+        return None  # entries are discarded and rebuilt from scratch
     if data.ndim != 2 or data.shape[1] != n_pins:
         return None
     return TestSet.from_matrix(data.astype(np.int8))
@@ -135,7 +136,8 @@ def _store_cached_cubes(key: str, cubes: TestSet) -> None:
     try:
         np.savez_compressed(temp, cubes=cubes.matrix)
         os.replace(temp, path)
-    except Exception:  # pragma: no cover - cache writes are best effort
+    except Exception:  # pragma: no cover  # repro: allow[R6] the cache is an
+        # optimisation; a full disk must not fail the experiment itself
         try:
             temp.unlink()
         except OSError:

@@ -9,7 +9,6 @@ boundary for slack at another, so its *peak* can be far from optimal.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.cubes.bits import X, ZERO
 from repro.cubes.cube import TestSet

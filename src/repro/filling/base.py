@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Type
+from typing import Callable, Dict, List, Optional
 
 from repro.cubes.cube import TestSet
 from repro.cubes.metrics import peak_toggles, total_toggles

@@ -27,9 +27,10 @@ import json
 import os
 from typing import Any, Dict, Mapping, Optional
 
+from repro import envvars
 from repro.obs import recorder
 
-METRICS_ENV_VAR = "REPRO_METRICS"
+METRICS_ENV_VAR = envvars.METRICS.name
 METRICS_SCHEMA = 1
 
 
@@ -37,8 +38,7 @@ def resolve_metrics_path(explicit: Optional[str] = None) -> Optional[str]:
     """Explicit path if given, else ``REPRO_METRICS``, else ``None``."""
     if explicit:
         return explicit
-    env = os.environ.get(METRICS_ENV_VAR, "").strip()
-    return env or None
+    return envvars.METRICS.read()
 
 
 def metrics_payload(meta: Optional[Mapping[str, Any]] = None) -> Dict[str, Any]:

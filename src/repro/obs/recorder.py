@@ -35,23 +35,17 @@ double-count — exactly mirroring the idempotent result merge.
 from __future__ import annotations
 
 import json
-import os
 import threading
 import time
-from typing import Any, Dict, Iterator, List, Mapping, Optional
+from typing import Any, Dict, List, Mapping, Optional
 
-TRACE_ENV_VAR = "REPRO_TRACE"
+from repro import envvars
+
+TRACE_ENV_VAR = envvars.TRACE.name
 
 #: In-memory event cap; beyond it events are dropped (and counted in the
 #: ``obs.events_dropped`` counter) so a chatty run cannot grow unbounded.
 MAX_EVENTS = 10_000
-
-_TRUE_VALUES = {"1", "true", "yes", "on"}
-
-
-def _env_truthy(value: Optional[str]) -> bool:
-    return value is not None and value.strip().lower() in _TRUE_VALUES
-
 
 class _NullSpan:
     """Reusable no-op context manager (a single shared instance)."""
@@ -382,5 +376,5 @@ class task_capture:
         return self._recorder.snapshot()
 
 
-if _env_truthy(os.environ.get(TRACE_ENV_VAR)):  # pragma: no cover - env path
+if envvars.TRACE.read():  # pragma: no cover - env path
     enable()

@@ -15,12 +15,11 @@ reproduction the interesting consequences are:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List
 
 import numpy as np
 
 from repro.circuit.netlist import Circuit
-from repro.cubes.cube import TestCube
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,26 @@
+"""R4 positive: task handlers and pool callables that cannot cross a spawn."""
+
+
+def make_handlers(config):
+    def handle_simulate(task):
+        return config["scale"] * task["n"]  # closure over config
+
+    return handle_simulate
+
+
+def submit_all(pool, tasks):
+    handles = []
+    for task in tasks:
+        handles.append(pool.apply_async(lambda t: t["n"] + 1, (task,)))
+
+    def local_runner(task):
+        return task["n"]
+
+    handles.append(pool.apply_async(local_runner, (tasks[0],)))
+    return handles
+
+
+_EXECUTORS = {
+    "echo": lambda task: task,
+    "simulate": make_handlers({"scale": 2}),
+}

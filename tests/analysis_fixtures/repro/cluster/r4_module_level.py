@@ -1,0 +1,19 @@
+"""R4 negative: spawn-safe task handlers and pool submissions."""
+
+
+def handle_echo(task):
+    return task
+
+
+def handle_simulate(task):
+    return task["n"] * 2
+
+
+def submit_all(pool, tasks):
+    return [pool.apply_async(handle_simulate, (task,)) for task in tasks]
+
+
+_EXECUTORS = {
+    "echo": handle_echo,
+    "simulate": handle_simulate,
+}

@@ -1,0 +1,24 @@
+"""R6 positive: broad exception handlers that swallow the failure."""
+
+
+def load_or_default(path):
+    try:
+        with open(path) as handle:
+            return handle.read()
+    except Exception:
+        return None
+
+
+def best_effort_cleanup(paths):
+    for path in paths:
+        try:
+            path.unlink()
+        except:  # noqa: E722
+            pass
+
+
+def swallow_tuple(task):
+    try:
+        return task.run()
+    except (ValueError, Exception):
+        return None

@@ -1,0 +1,33 @@
+"""R6 negative: broad handlers that re-raise, record, or document."""
+
+from repro.obs import recorder as obs
+
+
+def annotate_and_reraise(task):
+    try:
+        return task.run()
+    except Exception as err:
+        raise RuntimeError(f"task {task.id} failed") from err
+
+
+def record_and_continue(task):
+    try:
+        return task.run()
+    except Exception as err:
+        obs.event("task_failed", task_id=task.id, detail=repr(err))
+        return None
+
+
+def documented_swallow(path):
+    try:
+        return path.read_text()
+    except Exception:  # repro: allow[R6] missing forensics file is expected
+        return None
+
+
+def narrow_handler(path):
+    # Catching a specific expected error is normal control flow, not R6.
+    try:
+        return path.read_text()
+    except OSError:
+        return None

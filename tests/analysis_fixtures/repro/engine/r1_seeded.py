@@ -1,0 +1,30 @@
+"""R1 negative: the deterministic counterparts of every r1_unseeded sin."""
+
+import random
+import time
+from hashlib import blake2b
+
+import numpy as np
+
+
+def shuffled_order(items, seed):
+    random.Random(seed).shuffle(items)  # seeded instance is fine
+    return items
+
+
+def noisy_matrix(n, seed):
+    return np.random.default_rng(seed).random((n, n))
+
+
+def stamp_result(payload, blob):
+    start = time.perf_counter()  # monotonic timing is fine
+    payload["id"] = blake2b(blob, digest_size=8).hexdigest()  # content digest
+    payload["elapsed"] = time.perf_counter() - start
+    return payload
+
+
+def serialize(nets):
+    out = []
+    for net in sorted({"a", "b", "c"}):  # sorted() pins the order
+        out.append(net)
+    return out

@@ -1,0 +1,31 @@
+"""R1 positive: nondeterminism sources in a determinism-contract module."""
+
+import os
+import random
+import time
+import uuid
+
+import numpy as np
+
+
+def shuffled_order(items):
+    random.shuffle(items)  # unseeded global RNG
+    return items
+
+
+def noisy_matrix(n):
+    return np.random.rand(n, n)  # global numpy RNG
+
+
+def stamp_result(payload):
+    payload["ts"] = time.time()  # wall clock into a result payload
+    payload["id"] = uuid.uuid4().hex  # entropy-derived identity
+    payload["salt"] = os.urandom(4)  # raw entropy
+    return payload
+
+
+def serialize(nets):
+    out = []
+    for net in {"a", "b", "c"}:  # set iteration feeds ordered output
+        out.append(net)
+    return out

@@ -1,0 +1,22 @@
+"""R2 negative: both tail-safe idioms for word-table consumption."""
+
+from repro.engine.packed import WORD_BITS, evaluate_words, tail_mask
+
+import numpy as np
+
+
+def good_table_self_masked(program, packed, n_patterns):
+    # Passing n_patterns makes evaluate_words zero the tail itself.
+    return evaluate_words(program, packed, n_patterns)
+
+
+def count_detections(good, n_patterns):
+    # Explicit masking: the last word is ANDed with tail_mask before use.
+    n_words = -(-n_patterns // WORD_BITS)
+    total = 0
+    for word in range(n_words):
+        value = np.uint64(good[0, word])
+        if word == n_words - 1:
+            value &= tail_mask(n_patterns)
+        total += int(value).bit_count()
+    return total

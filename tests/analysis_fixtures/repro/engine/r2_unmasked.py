@@ -1,0 +1,21 @@
+"""R2 positive: word-table consumption that leaks tail-word garbage."""
+
+from repro.engine.packed import WORD_BITS, evaluate_words
+
+import numpy as np
+
+
+def good_table_unmasked(program, packed):
+    # evaluate_words without n_patterns: the last word keeps garbage bits,
+    # and nothing in this function masks them.
+    return evaluate_words(program, packed)
+
+
+def count_detections(good, n_patterns):
+    # Word-level arithmetic over a word table without tail_mask: the final
+    # popcount includes bits past n_patterns.
+    n_words = -(-n_patterns // WORD_BITS)
+    total = 0
+    for word in range(n_words):
+        total += int(good[0, word]).bit_count()
+    return total

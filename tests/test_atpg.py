@@ -13,7 +13,7 @@ from repro.atpg.tpg import generate_test_cubes
 from repro.circuit.gates import GateType
 from repro.circuit.library import b01_like_fsm, c17, ripple_counter
 from repro.circuit.netlist import Circuit
-from repro.cubes.bits import ONE, X, ZERO
+from repro.cubes.bits import ONE, ZERO
 from repro.cubes.cube import TestSet
 
 

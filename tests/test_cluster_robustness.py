@@ -24,7 +24,6 @@ import numpy as np
 import pytest
 
 from repro.atpg.collapse import collapse_faults
-from repro.circuit.generator import CircuitSpec, generate_circuit
 from repro.circuit.library import b01_like_fsm
 from repro.cluster import (
     CHAOS_ENV_VAR,

@@ -39,7 +39,6 @@ from repro.engine import (
 )
 from repro.engine.backend import BACKEND_ENV_VAR, _REGISTRY
 from repro.engine.packed import (
-    WORD_BITS,
     evaluate_words,
     pack_patterns,
     tail_mask,

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.benchmarks_data.paper_results import (
@@ -19,7 +18,7 @@ from repro.experiments.fill_sweep import FILL_METHODS
 from repro.experiments.report import TableResult, percent_improvement, render_markdown, render_table
 from repro.experiments.runner import build_parser, run_all
 from repro.experiments.techniques import TECHNIQUES, apply_all_techniques, apply_technique
-from repro.experiments.workloads import build_workload, build_workloads
+from repro.experiments.workloads import build_workload
 
 SMALL = ["b01", "b03"]
 

@@ -44,6 +44,7 @@ from repro.cluster.transport import (
     write_atomic,
 )
 from repro.engine import NaiveFaultSimulator, PackedFaultSimulator, get_backend
+from repro.obs import manifest as obs_manifest
 from repro.obs import metrics as obs_metrics
 from repro.obs import recorder as obs
 
@@ -69,15 +70,13 @@ def _patterns(circuit, n=160, seed=1):
     )
 
 
-#: Counters that must be exactly equal across every backend and transport.
-#: Scheduling-dependent ones (blocks, dropped_block_evaluations) are not in
-#: the set — chunk boundaries legitimately change them.
-PARITY_KEYS = (
-    "fault_sim.cone_evaluations",
-    "fault_sim.runs",
-    "fault_sim.patterns",
-    "fault_sim.faults",
-    "fault_sim.detected",
+#: Counters that must be exactly equal across every backend and transport —
+#: sourced from the declared manifest so the parity contract and the static
+#: analyzer's R5 rule cannot drift apart.  Scheduling-dependent counters
+#: (blocks, dropped_block_evaluations) are outside DETERMINISTIC by design;
+#: the podem.* members are exercised by the ATPG parity suite, not here.
+PARITY_KEYS = tuple(
+    sorted(k for k in obs_manifest.DETERMINISTIC if k.startswith("fault_sim."))
 )
 
 
@@ -621,3 +620,30 @@ class TestRunnerMetrics:
         payload = json.loads(path.read_text())
         assert payload["schema"] == obs_metrics.METRICS_SCHEMA
         assert payload["counters"].get("fault_sim.runs", 0) >= 1
+
+
+# -- counters manifest -------------------------------------------------------
+class TestManifest:
+    """The declared telemetry grammar (consumed by analysis rule R5)."""
+
+    def test_manifest_is_internally_consistent(self):
+        assert list(obs_manifest.validate()) == []
+
+    def test_every_declared_counter_parses(self):
+        for name in obs_manifest.COUNTERS:
+            assert obs_manifest.COUNTER_GRAMMAR.match(name), name
+
+    def test_parity_keys_are_declared_and_deterministic(self):
+        assert PARITY_KEYS  # sourcing from the manifest must not empty the set
+        for key in PARITY_KEYS:
+            assert obs_manifest.is_declared(key)
+            assert key in obs_manifest.DETERMINISTIC
+
+    def test_dynamic_status_family_is_declared(self):
+        assert obs_manifest.is_declared("podem.status.detected")
+        assert obs_manifest.is_declared("podem.status.untestable")
+        assert not obs_manifest.is_declared("nonsense.counter")
+
+    def test_scheduling_dependent_counters_excluded(self):
+        assert "fault_sim.blocks" not in obs_manifest.DETERMINISTIC
+        assert "fault_sim.dropped_block_evaluations" not in obs_manifest.DETERMINISTIC

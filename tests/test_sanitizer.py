@@ -1,0 +1,179 @@
+"""Order-independence sanitizer tests (``repro.analysis.sanitizer``).
+
+Unit level: :class:`MergeShadow` must accept the commutative /
+associative / idempotent ``min_merge`` and reject a deliberately
+order-dependent merge (last-write-wins).  Integration level: with
+``REPRO_SANITIZE=1`` armed, a real cluster fault-simulation run passes
+the shadow re-merge, stays bit-identical to the packed baseline, and
+proves the sanitizer actually ran via the ``cluster.sanitize_checks``
+counter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.sanitizer import MergeShadow, SanitizerError, enabled, shadow_for
+from repro.atpg.collapse import collapse_faults
+from repro.circuit.generator import CircuitSpec, generate_circuit
+from repro.cluster import ClusterFaultSimulator, LocalTransport
+from repro.cluster.protocol import min_merge
+from repro.cubes.cube import TestSet
+from repro.engine import PackedFaultSimulator
+from repro.obs import recorder as obs
+
+
+def _last_write_wins(first, positions, chunk_first):
+    """An order-dependent merge: later envelopes clobber earlier ones."""
+    for index, found in zip(positions, chunk_first):
+        if found is not None:
+            first[index] = found
+
+
+def _apply_all(merge, n_items, envelopes):
+    live = [None] * n_items
+    for positions, values in envelopes:
+        merge(live, positions, values)
+    return live
+
+
+ENVELOPES = [
+    ([0, 1, 2], [5, None, 9]),
+    ([1, 2, 3], [4, 7, None]),
+    ([0, 3], [3, 8]),
+    ([0, 1, 2], [5, None, 9]),  # duplicate delivery
+]
+
+
+class TestMergeShadow:
+    def test_min_merge_passes(self):
+        shadow = MergeShadow(4, min_merge, label="unit")
+        live = [None] * 4
+        for positions, values in ENVELOPES:
+            shadow.record(positions, values)
+            min_merge(live, positions, values)
+        shadow.verify(live)  # must not raise
+
+    def test_order_dependent_merge_is_caught(self):
+        shadow = MergeShadow(4, _last_write_wins, label="unit")
+        live = [None] * 4
+        for positions, values in ENVELOPES:
+            shadow.record(positions, values)
+            _last_write_wins(live, positions, values)
+        with pytest.raises(SanitizerError, match="order-dependent"):
+            shadow.verify(live)
+
+    def test_error_names_the_run_and_positions(self):
+        shadow = MergeShadow(4, _last_write_wins, label="fault_plan/b01/shards")
+        live = [None] * 4
+        for positions, values in ENVELOPES:
+            shadow.record(positions, values)
+            _last_write_wins(live, positions, values)
+        with pytest.raises(SanitizerError, match="fault_plan/b01/shards"):
+            shadow.verify(live)
+
+    def test_wrong_length_is_caught(self):
+        shadow = MergeShadow(4, min_merge)
+        with pytest.raises(SanitizerError, match="items"):
+            shadow.verify([None] * 3)
+
+    def test_empty_run_verifies(self):
+        shadow = MergeShadow(0, min_merge)
+        shadow.verify([])
+
+    def test_records_are_copies(self):
+        # The live merge mutates nothing the shadow holds, and vice versa.
+        shadow = MergeShadow(2, min_merge)
+        positions, values = [0, 1], [1, 2]
+        shadow.record(positions, values)
+        values[0] = 99
+        assert shadow.records[0][1] == [1, 2]
+
+    def test_verify_counts_checks(self):
+        obs.disable()
+        obs.enable()
+        shadow = MergeShadow(1, min_merge)
+        shadow.record([0], [1])
+        shadow.verify([1])
+        counters = obs.snapshot()["counters"]
+        obs.disable()
+        assert counters.get("cluster.sanitize_checks") == 2  # two orders
+
+
+class TestArming:
+    def test_disarmed_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        assert enabled() is False
+        assert shadow_for(4, min_merge) is None
+
+    def test_armed_by_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        assert enabled() is True
+        shadow = shadow_for(4, min_merge, label="x")
+        assert isinstance(shadow, MergeShadow)
+        assert shadow.label == "x"
+
+    def test_garbage_value_fails_loudly(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "maybe")
+        with pytest.raises(ValueError, match="REPRO_SANITIZE"):
+            enabled()
+
+
+class TestClusterIntegration:
+    def _workload(self):
+        circuit = generate_circuit(CircuitSpec("sanitize_med", 8, 10, 160, seed=9))
+        rng = np.random.default_rng(3)
+        patterns = TestSet.from_matrix(
+            rng.integers(0, 2, size=(96, circuit.n_test_pins)).astype(np.int8)
+        )
+        return circuit, patterns, collapse_faults(circuit)
+
+    def test_sanitized_run_matches_packed(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        circuit, patterns, faults = self._workload()
+        baseline = PackedFaultSimulator(circuit).run(patterns, faults)
+        simulator = ClusterFaultSimulator(
+            circuit,
+            transport=LocalTransport(),
+            jobs=2,
+            min_chunk_faults=2,
+            chunks_per_worker=2,
+        )
+        result = simulator.run(patterns, faults)
+        assert result.detected == baseline.detected
+        assert result.undetected == baseline.undetected
+
+    def test_sanitizer_provably_armed(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        circuit, patterns, faults = self._workload()
+        obs.disable()
+        obs.enable()
+        simulator = ClusterFaultSimulator(
+            circuit,
+            transport=LocalTransport(),
+            jobs=2,
+            min_chunk_faults=2,
+            chunks_per_worker=2,
+        )
+        simulator.run(patterns, faults)
+        counters = obs.snapshot()["counters"]
+        obs.disable()
+        assert counters.get("cluster.sanitize_checks", 0) >= 2
+
+    def test_unarmed_run_records_nothing(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        circuit, patterns, faults = self._workload()
+        obs.disable()
+        obs.enable()
+        simulator = ClusterFaultSimulator(
+            circuit,
+            transport=LocalTransport(),
+            jobs=2,
+            min_chunk_faults=2,
+            chunks_per_worker=2,
+        )
+        simulator.run(patterns, faults)
+        counters = obs.snapshot()["counters"]
+        obs.disable()
+        assert "cluster.sanitize_checks" not in counters
