@@ -20,6 +20,12 @@ The standalone mode also sweeps the packed fault-grading *modes* — big-int
 ``lanes`` vs the vectorised uint64 ``words`` table — across pattern widths
 on one profile, records the lanes→words crossover in ``BENCH_engine.json``
 and prints where ``mode="auto"`` switches relative to the measured one.
+A second sweep covers the fault-parallel ``faults`` kernel (64 faults per
+uint64 word) three ways against lanes and words on the
+many-faults/few-patterns shapes it is designed for, per profile, records
+where ``auto`` switches kernels, and times PODEM end to end with the
+fault-packed drop sweep on vs off (byte-identical ``ATPGResult``s asserted
+first).
 
 Acceptance gates:
 
@@ -30,6 +36,9 @@ Acceptance gates:
   beat a serial run on fewer), reported informationally otherwise;
 * the ``words`` fault mode must be at least 1.5x faster than ``lanes`` on a
   >= 4096-pattern profile (single-core SIMD throughput, so always enforced);
+* the ``faults`` kernel must be at least 2x faster than the best of lanes
+  and words on the largest profile's many-faults/few-patterns shape
+  (single-core lane packing, so always enforced);
 * telemetry (``repro.obs``) may cost at most 2% on the largest profile's
   packed fault kernel — measured with tracing *enabled* vs disabled, which
   bounds the disabled-mode overhead from above (the disabled path runs a
@@ -62,7 +71,11 @@ from repro.atpg.tpg import generate_test_cubes
 from repro.core.dpfill import dp_fill
 from repro.cubes.cube import TestSet
 from repro.engine.backend import get_backend
-from repro.engine.fault import PackedFaultSimulator
+from repro.engine.fault import (
+    FAULTS_MODE_MAX_PATTERNS,
+    PackedFaultSimulator,
+    resolve_grading_kernel,
+)
 from repro.engine.packed import LANE_MODE_MAX_PATTERNS
 from repro.engine.sharded import JOBS_ENV_VAR, parse_jobs, set_default_jobs
 from repro.experiments.workloads import Workload, build_workload, default_workload_names
@@ -78,6 +91,17 @@ BACKENDS = ["naive", "packed", "sharded"]
 FAULT_MODE_PROFILE = "b08"
 FAULT_MODE_WIDTHS = [512, 1024, 2048, 4096, 8192]
 FAULT_MODE_GATE_SPEEDUP = 1.5
+
+#: Pattern widths for the fault-parallel kernel sweep: the
+#: many-faults/few-patterns shapes the ``faults`` kernel is designed for
+#: (PODEM's drop sweep grades a single filled cube), the auto-threshold
+#: edge, and two widths past the crossover back to lanes.
+FAULT_PARALLEL_WIDTHS = [1, 4, 8, 32]
+#: ``faults`` must beat the best of lanes/words by this factor on the
+#: largest profile's many-faults/few-patterns shape.
+FAULT_PARALLEL_GATE_SPEEDUP = 2.0
+#: Fault cap for the PODEM end-to-end A/B (the workload builder's value).
+FAULT_PARALLEL_ATPG_FAULTS = 150
 
 #: Workers the standalone sharded benchmark runs with (the acceptance gate
 #: is defined at 4 workers); override with REPRO_JOBS.
@@ -173,6 +197,18 @@ def test_bench_fault_mode(benchmark, n_patterns, fault_mode):
     assert result.n_patterns == n_patterns
 
 
+@pytest.mark.parametrize("fault_mode", ["lanes", "words", "faults"])
+def test_bench_fault_parallel_shape(benchmark, fault_mode):
+    # The many-faults/few-patterns shape the fault-parallel kernel targets.
+    workload = build_workload(FAULT_MODE_PROFILE)
+    patterns = _wide_patterns(workload.circuit, 8)
+    faults = collapse_faults(workload.circuit)
+    program = get_backend("packed").compiled_program(workload.circuit)
+    simulator = PackedFaultSimulator(workload.circuit, program=program, mode=fault_mode)
+    result = benchmark(lambda: simulator.run(patterns, faults))
+    assert result.n_patterns == 8
+
+
 def _sampled_faults(circuit, cap: int = ATPG_BENCH_FAULTS):
     faults = collapse_faults(circuit)
     if len(faults) <= cap:
@@ -245,12 +281,13 @@ def _write_json(
     jobs: int,
     largest: dict,
     fault_modes: dict,
+    fault_parallel: dict,
     atpg: dict,
     cluster: dict,
     obs_section: dict,
 ) -> None:
     payload = {
-        "schema": 5,
+        "schema": 6,
         "git_sha": _git_sha(),
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "python": sys.version.split()[0],
@@ -261,6 +298,7 @@ def _write_json(
         "profiles": rows,
         "largest": largest,
         "fault_modes": fault_modes,
+        "fault_parallel": fault_parallel,
         "atpg": atpg,
         "cluster": cluster,
         "obs": obs_section,
@@ -340,6 +378,140 @@ def _fault_mode_sweep() -> dict:
         "auto_threshold_patterns": LANE_MODE_MAX_PATTERNS,
         "gate_patterns": gate_row["patterns"],
         "words_gate_speedup": gate_row["words_speedup"],
+    }
+
+
+def _fault_parallel_sweep() -> dict:
+    """Three-way kernel sweep on the many-faults/few-patterns shapes.
+
+    For every benchmark profile, time ``lanes`` vs ``words`` vs ``faults``
+    across :data:`FAULT_PARALLEL_WIDTHS` over the full collapsed fault list
+    (parity asserted before any timing is reported), record which kernel
+    ``auto`` resolves at each width, and finish with a PODEM end-to-end A/B:
+    ``generate_test_cubes`` with the fault-packed drop sweep forced off
+    (``drop_fault_mode="lanes"``) vs on, byte-identical ``ATPGResult``s
+    asserted first.  Returns the ``fault_parallel`` section for
+    ``BENCH_engine.json``.
+    """
+    names = bench_names()
+    print("\nfault-parallel kernel (64 faults/word) vs lanes/words, per profile:")
+    header = (
+        f"{'circuit':>8} {'faults':>6} {'pats':>5} {'lanes (ms)':>11} "
+        f"{'words (ms)':>11} {'faults (ms)':>12} {'vs best':>8} {'auto':>7}"
+    )
+    print(header)
+    print("-" * len(header))
+    rows: List[dict] = []
+    for name in names:
+        workload = build_workload(name)
+        circuit = workload.circuit
+        faults = collapse_faults(circuit)
+        program = get_backend("packed").compiled_program(circuit)
+        widths: List[dict] = []
+        for n_patterns in FAULT_PARALLEL_WIDTHS:
+            patterns = _wide_patterns(circuit, n_patterns)
+            timings: Dict[str, float] = {}
+            results = {}
+            for kernel in ("lanes", "words", "faults"):
+                t_kernel, res = _time_best(
+                    lambda mode=kernel: lambda: PackedFaultSimulator(
+                        circuit, program=program, mode=mode
+                    ).run(patterns, faults),
+                    repeats=2,
+                )
+                timings[kernel] = t_kernel
+                results[kernel] = res
+            for kernel in ("words", "faults"):
+                assert list(results["lanes"].detected.items()) == list(
+                    results[kernel].detected.items()
+                ), (name, n_patterns, kernel)
+                assert results["lanes"].undetected == results[kernel].undetected, (
+                    name,
+                    n_patterns,
+                    kernel,
+                )
+            best_pattern_packed = min(timings["lanes"], timings["words"])
+            speedup = best_pattern_packed / timings["faults"]
+            auto_kernel = resolve_grading_kernel("auto", n_patterns, len(faults))
+            widths.append(
+                {
+                    "patterns": n_patterns,
+                    "seconds": dict(timings),
+                    "faults_speedup_vs_best": speedup,
+                    "auto_kernel": auto_kernel,
+                }
+            )
+            print(
+                f"{name:>8} {len(faults):>6} {n_patterns:>5} "
+                f"{timings['lanes'] * 1000:>11.1f} {timings['words'] * 1000:>11.1f} "
+                f"{timings['faults'] * 1000:>12.1f} {speedup:>7.2f}x {auto_kernel:>7}"
+            )
+        rows.append(
+            {
+                "circuit": name,
+                "gates": circuit.n_gates,
+                "faults": len(faults),
+                "widths": widths,
+            }
+        )
+
+    largest = max(rows, key=lambda row: row["gates"])
+    gate_widths = [w for w in largest["widths"] if w["auto_kernel"] == "faults"]
+    gate_row = max(gate_widths, key=lambda w: w["faults_speedup_vs_best"])
+    print(
+        f"largest profile ({largest['circuit']}): faults kernel "
+        f"{gate_row['faults_speedup_vs_best']:.2f}x vs best of lanes/words at "
+        f"{gate_row['patterns']} patterns "
+        f"(gate: >= {FAULT_PARALLEL_GATE_SPEEDUP:.0f}x; auto picks faults up to "
+        f"{FAULTS_MODE_MAX_PATTERNS} patterns)"
+    )
+
+    # PODEM end to end: the drop sweep's one-fault tail, collapsed vs not.
+    circuit = build_workload(largest["circuit"]).circuit
+    atpg_kwargs = dict(
+        max_faults=FAULT_PARALLEL_ATPG_FAULTS,
+        backtrack_limit=ATPG_BENCH_BACKTRACKS,
+        seed=0,
+        jobs=1,
+    )
+    t_lanes, res_lanes = _time_best(
+        lambda: lambda: generate_test_cubes(
+            circuit, drop_fault_mode="lanes", **atpg_kwargs
+        ),
+        repeats=2,
+    )
+    t_faults, res_faults = _time_best(
+        lambda: lambda: generate_test_cubes(
+            circuit, drop_fault_mode="faults", **atpg_kwargs
+        ),
+        repeats=2,
+    )
+    assert np.array_equal(res_lanes.cubes.matrix, res_faults.cubes.matrix)
+    assert res_lanes.cubes.names == res_faults.cubes.names
+    assert list(res_lanes.detected_faults.items()) == list(
+        res_faults.detected_faults.items()
+    )
+    assert res_lanes.untestable_faults == res_faults.untestable_faults
+    assert res_lanes.aborted_faults == res_faults.aborted_faults
+    podem_speedup = t_lanes / t_faults
+    print(
+        f"PODEM end to end on {largest['circuit']}: per-fault drop sweep "
+        f"{t_lanes * 1000:.0f}ms, fault-packed {t_faults * 1000:.0f}ms "
+        f"({podem_speedup:.2f}x, byte-identical ATPGResult)"
+    )
+    return {
+        "widths": list(FAULT_PARALLEL_WIDTHS),
+        "profiles": rows,
+        "auto_max_patterns": FAULTS_MODE_MAX_PATTERNS,
+        "gate_circuit": largest["circuit"],
+        "gate_patterns": gate_row["patterns"],
+        "faults_gate_speedup": gate_row["faults_speedup_vs_best"],
+        "podem_drop": {
+            "circuit": largest["circuit"],
+            "max_faults": FAULT_PARALLEL_ATPG_FAULTS,
+            "seconds": {"lanes": t_lanes, "faults": t_faults},
+            "speedup": podem_speedup,
+        },
     }
 
 
@@ -715,10 +887,13 @@ def _main(jobs: int, metrics_path: Optional[str] = None) -> int:
         f"sharded {sharded_speedup:.1f}x vs packed ({jobs} workers, {cores} cores available)"
     )
     fault_modes = _fault_mode_sweep()
+    fault_parallel = _fault_parallel_sweep()
     atpg = _atpg_sweep(jobs)
     cluster = _cluster_sweep(jobs, largest_row)
     obs_section = _obs_sweep(largest_row, metrics_path)
-    _write_json(rows, jobs, largest, fault_modes, atpg, cluster, obs_section)
+    _write_json(
+        rows, jobs, largest, fault_modes, fault_parallel, atpg, cluster, obs_section
+    )
 
     code = 0
     if packed_speedup < 5.0:
@@ -738,6 +913,13 @@ def _main(jobs: int, metrics_path: Optional[str] = None) -> int:
             f"WARNING: words fault mode below the {FAULT_MODE_GATE_SPEEDUP}x "
             f"acceptance threshold on every >= {LANE_MODE_MAX_PATTERNS}-pattern "
             "profile"
+        )
+        code = 1
+    if fault_parallel["faults_gate_speedup"] < FAULT_PARALLEL_GATE_SPEEDUP:
+        print(
+            f"WARNING: faults kernel below the {FAULT_PARALLEL_GATE_SPEEDUP:.0f}x "
+            "acceptance threshold vs the best pattern-packed kernel on the "
+            "largest profile's many-faults/few-patterns shape"
         )
         code = 1
     if atpg["largest"]["compiled_speedup"] < ATPG_GATE_SPEEDUP:

@@ -19,6 +19,15 @@ Two tail-safe idioms exist, and every consumption site outside
 Deleting the ``tail_mask`` application from a consumer — or dropping the
 ``n_patterns`` argument from an ``evaluate_words`` call — makes this rule
 fire; the fixture suite demonstrates both.
+
+The fault-parallel kernel has the same hazard on the *fault* axis: 64
+faults per word means the last fault word of a run usually has unpopulated
+lanes, and a detection word consumed without
+:func:`~repro.engine.fault.fault_lane_mask` scatters tail-lane garbage
+onto faults that do not exist.  Functions that do fault-word lane
+arithmetic (reference ``FAULT_WORD_LANES`` while holding a fault-list
+parameter) must therefore apply ``fault_lane_mask``; the fixture corpus
+carries a firing and a quiet case for this arm too.
 """
 
 from __future__ import annotations
@@ -31,6 +40,10 @@ from repro.analysis.registry import rule
 
 #: Parameter names that mark a function as consuming a packed word table.
 WORD_TABLE_PARAMS = {"good", "good_table", "words", "word_table", "input_words"}
+
+#: Parameter names that mark a function as grading a packed fault list
+#: (the fault-parallel kernel's signature family).
+FAULT_LIST_PARAMS = {"sites", "fault_sites", "faults", "stuck_values"}
 
 
 def _is_packed_module(module: ModuleInfo) -> bool:
@@ -97,10 +110,12 @@ def check_tail_mask(module: ModuleInfo, ctx: AnalysisContext) -> Iterator[Findin
                 + list(node.args.posonlyargs)
                 + list(node.args.kwonlyargs)
             }
-            if not params & WORD_TABLE_PARAMS:
-                continue
             names = scope_names[id(node)]
-            if "WORD_BITS" in names and "tail_mask" not in names:
+            if (
+                params & WORD_TABLE_PARAMS
+                and "WORD_BITS" in names
+                and "tail_mask" not in names
+            ):
                 yield module.finding(
                     "R2",
                     node.lineno,
@@ -108,4 +123,17 @@ def check_tail_mask(module: ModuleInfo, ctx: AnalysisContext) -> Iterator[Findin
                     "word-level arithmetic (WORD_BITS) without applying "
                     "tail_mask: garbage bits in the last word become phantom "
                     "detections",
+                )
+            if (
+                params & FAULT_LIST_PARAMS
+                and "FAULT_WORD_LANES" in names
+                and "fault_lane_mask" not in names
+            ):
+                yield module.finding(
+                    "R2",
+                    node.lineno,
+                    f"function {node.name} packs faults into lane words "
+                    "(FAULT_WORD_LANES) without applying fault_lane_mask: "
+                    "unpopulated tail lanes of the last fault word scatter "
+                    "detections onto nonexistent faults",
                 )

@@ -32,7 +32,7 @@ from repro.atpg.faults import StuckAtFault
 from repro.circuit.netlist import Circuit
 from repro.cubes.cube import TestSet
 from repro.engine.backend import SimulationBackend, get_backend
-from repro.engine.fault import FaultSimulationResult
+from repro.engine.fault import FaultSimulationResult, resolve_fault_mode
 
 __all__ = ["FaultSimulationResult", "FaultSimulator"]
 
@@ -45,16 +45,24 @@ class FaultSimulator:
         backend: backend name (``"packed"``, ``"naive"``) or a
             :class:`~repro.engine.backend.SimulationBackend` instance; the
             registry default applies when omitted.
+        fault_mode: force the packed grading mode (``"auto"``/``"lanes"``/
+            ``"words"``/``"faults"``) on backends that grade through the
+            packed kernels; ``None`` keeps the backend's own resolution
+            (``REPRO_FAULT_MODE``, else per-shape ``auto``).  The naive
+            reference has a single kernel and ignores the knob.
     """
 
     def __init__(
         self,
         circuit: Circuit,
         backend: Union[str, SimulationBackend, None] = None,
+        fault_mode: Optional[str] = None,
     ) -> None:
         self.circuit = circuit
         self.backend = get_backend(backend)
         self._impl = self.backend.fault_simulator(circuit)
+        if fault_mode is not None and hasattr(self._impl, "mode"):
+            self._impl.mode = resolve_fault_mode(fault_mode)
 
     @property
     def last_run_stats(self) -> dict:

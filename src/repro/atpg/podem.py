@@ -25,6 +25,14 @@ implementation through the simulation-backend registry (the ``naive``
 backend prefers the dict reference, every compiled backend the ternary
 engine) and the ``REPRO_ATPG_MODE`` environment variable forces either one
 process-wide.
+
+Generation is only half the ATPG hot path: after each cube the driver
+(:func:`~repro.atpg.tpg.generate_test_cubes`) fault-simulates a random fill
+of it against every remaining fault to drop collateral detections.  That
+post-generation verification sweep grades one pattern against many faults,
+which the packed engine now serves with the fault-parallel fault-word
+kernel (:func:`~repro.engine.fault.packed_first_detects_faults`) rather
+than a per-fault loop — see the driver docs for the A/B knob.
 """
 
 from __future__ import annotations

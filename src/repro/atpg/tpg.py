@@ -6,6 +6,14 @@ fault, and fault-simulates a randomly filled copy of each new cube to drop
 every other fault it happens to detect.  The order in which cubes are emitted
 *is* the "tool ordering" used by Table II of the paper.
 
+Each drop sweep grades one filled cube against *all* remaining faults — the
+shape where pattern-parallel kernels degenerate to one fault at a time.
+Under the packed backends the sweep therefore runs the fault-parallel
+fault-word kernel (``mode="auto"`` resolves to ``"faults"`` for this shape;
+see :func:`~repro.engine.fault.packed_first_detects_faults`), grading 64
+remaining faults per machine word per cube instead of looping the python
+interpreter over every fault.
+
 Generation can fan out across the shared worker pool: the collapsed fault
 list is partitioned into chunks and each worker runs the compiled ternary
 PODEM engine on its shard (:class:`~repro.engine.sharded.ShardedPodemScheduler`),
@@ -137,6 +145,7 @@ def generate_test_cubes(
     jobs: Optional[int] = None,
     backend: Union[str, SimulationBackend, None] = None,
     atpg_mode: Optional[str] = None,
+    drop_fault_mode: Optional[str] = None,
 ) -> ATPGResult:
     """Generate a stuck-at test-cube set for ``circuit``.
 
@@ -160,6 +169,16 @@ def generate_test_cubes(
         atpg_mode: PODEM implication implementation (``"auto"`` / ``"dict"``
             / ``"compiled"``); ``None`` resolves through ``REPRO_ATPG_MODE``
             and the backend preference.
+        drop_fault_mode: grading mode for the dropping fault simulator.
+            Each drop sweep grades **one** filled cube against the whole
+            remaining fault list — the many-faults/few-patterns shape — so
+            under the default ``None`` (env / ``auto``) the packed backends
+            collapse this historical one-fault-at-a-time tail with the
+            fault-parallel kernel (``"faults"``,
+            :func:`~repro.engine.fault.packed_first_detects_faults`).
+            Forcing ``"lanes"`` restores the per-fault sweep; results are
+            bit-identical either way (the benchmark's PODEM A/B relies on
+            that).
 
     Returns:
         An :class:`ATPGResult` whose ``cubes`` are in generation order.
@@ -172,7 +191,11 @@ def generate_test_cubes(
     engine = PodemEngine(
         circuit, backtrack_limit=backtrack_limit, backend=backend, mode=atpg_mode
     )
-    simulator = FaultSimulator(circuit, backend=backend) if drop_with_fault_sim else None
+    simulator = (
+        FaultSimulator(circuit, backend=backend, fault_mode=drop_fault_mode)
+        if drop_with_fault_sim
+        else None
+    )
     scheduler = _podem_scheduler(engine, faults, jobs)
     rng = np.random.default_rng(seed)
 

@@ -56,8 +56,8 @@ from repro.engine.fault import (
     _new_stats,
     _unique_faults,
     _validate_run,
-    fault_mode_uses_words,
     resolve_fault_mode,
+    resolve_grading_kernel,
 )
 from repro.engine.pool import CHUNK_TIMEOUT, resolve_jobs
 from repro.obs import recorder as obs
@@ -79,7 +79,7 @@ def run_fault_plan(
     patterns: TestSet,
     sites: Sequence[int],
     stuck_values: Sequence[int],
-    use_words: bool,
+    fault_kernel: str,
     block_patterns: int,
     drop_detected: bool,
     stats: Dict[str, object],
@@ -97,13 +97,16 @@ def run_fault_plan(
     When ``chunker`` is given, fault-chunk bounds come from it lazily —
     sized by the cone-evaluation feedback of whatever chunks completed
     before each submission — instead of from the static plan.
+    ``fault_kernel`` is the resolved grading kernel every chunk runs
+    (``"lanes"``/``"words"``/``"faults"``, see
+    :func:`~repro.engine.fault.resolve_grading_kernel`).
     """
     mode, chunks = plan
     n_patterns = len(patterns)
     n_faults = len(sites)
     matrix = check_pattern_matrix(patterns.matrix, program.n_inputs)
     base_task = simulate_base_task(
-        program, matrix, n_patterns, use_words, block_patterns, drop_detected
+        program, matrix, n_patterns, fault_kernel, block_patterns, drop_detected
     )
     first: List[Optional[int]] = [None] * n_faults
     # REPRO_SANITIZE=1: shadow-record every merged envelope and re-merge in
@@ -213,7 +216,8 @@ class ClusterFaultSimulator:
         program: reuse an already-compiled program for ``circuit``.
         chunks_per_worker / min_chunk_faults: sharding knobs, mainly for
             tests.
-        mode: packed fault-grading mode (``"auto"``/``"lanes"``/``"words"``).
+        mode: packed fault-grading mode
+            (``"auto"``/``"lanes"``/``"words"``/``"faults"``).
         chunk_plan: ``"adaptive"`` (default; chunk sizes follow measured
             cone cost) or ``"static"`` (the fixed equal-count plan);
             ``None`` resolves through ``REPRO_CHUNK_PLAN``.
@@ -268,10 +272,10 @@ class ClusterFaultSimulator:
         )
         return stats
 
-    def _block_patterns_for(self, use_words: bool) -> int:
+    def _block_patterns_for(self, kernel: str) -> int:
         if self.block_patterns is not None:
             return self.block_patterns
-        return WORD_DROP_BLOCK_PATTERNS if use_words else DROP_BLOCK_PATTERNS
+        return WORD_DROP_BLOCK_PATTERNS if kernel == "words" else DROP_BLOCK_PATTERNS
 
     def _run_inline(
         self,
@@ -349,8 +353,8 @@ class ClusterFaultSimulator:
             return early
         faults = _unique_faults(faults)
         n_patterns = len(patterns)
-        use_words = fault_mode_uses_words(self.mode, n_patterns)
-        block_patterns = self._block_patterns_for(use_words)
+        kernel = resolve_grading_kernel(self.mode, n_patterns, len(faults))
+        block_patterns = self._block_patterns_for(kernel)
         plan = (
             plan_chunks(
                 jobs,
@@ -390,7 +394,7 @@ class ClusterFaultSimulator:
                         patterns,
                         sites,
                         stuck_values,
-                        use_words,
+                        kernel,
                         block_patterns,
                         drop_detected,
                         stats,

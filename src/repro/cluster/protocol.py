@@ -50,6 +50,7 @@ from repro.engine.compile import CompiledCircuit
 from repro.engine.fault import (
     _new_stats,
     packed_first_detects,
+    packed_first_detects_faults,
     packed_first_detects_words,
 )
 from repro.engine.packed import (
@@ -73,7 +74,12 @@ OBS_PAYLOAD_KEY = "__repro_obs__"
 MIN_CHUNK_FAULTS = 8
 
 #: Per-chunk stats counters merged back into the parent's ``last_run_stats``.
-CHUNK_STAT_KEYS = ("blocks", "cone_evaluations", "dropped_block_evaluations")
+CHUNK_STAT_KEYS = (
+    "blocks",
+    "cone_evaluations",
+    "dropped_block_evaluations",
+    "fault_words",
+)
 
 #: Environment variable forcing the fault-chunk plan (``adaptive``/``static``).
 CHUNK_PLAN_ENV_VAR = envvars.CHUNK_PLAN.name
@@ -207,15 +213,19 @@ def simulate_base_task(
     program: CompiledCircuit,
     matrix: np.ndarray,
     n_patterns: int,
-    use_words: bool,
+    fault_kernel: str,
     block_patterns: int,
     drop_detected: bool,
 ) -> Dict[str, object]:
     """The per-run invariants every ``"simulate"`` chunk task shares.
 
-    The packed inputs ship in whichever representation the workers will
-    grade on; every chunk of one run reuses a single cached good machine per
-    worker either way.
+    ``fault_kernel`` is the *resolved* grading kernel (``"lanes"`` /
+    ``"words"`` / ``"faults"``, never ``"auto"``): the parent resolves it
+    once from the full run shape and every chunk grades on it, so chunking
+    never changes the kernel.  The packed inputs ship in whichever
+    representation that kernel reads (the word table for ``words``, big-int
+    lanes otherwise); every chunk of one run reuses a single cached good
+    machine per worker either way.
     """
     patterns_key = blake2b(
         matrix.tobytes() + repr(matrix.shape).encode(), digest_size=16
@@ -226,12 +236,12 @@ def simulate_base_task(
         "program_key": program_key,
         "program_blob": program_blob,
         "patterns_key": patterns_key,
-        "fault_mode": "words" if use_words else "lanes",
+        "fault_mode": fault_kernel,
         "n_patterns": n_patterns,
         "block_patterns": block_patterns,
         "drop_detected": drop_detected,
     }
-    if use_words:
+    if fault_kernel == "words":
         base["input_words"] = pack_patterns(matrix)
     else:
         base["input_lanes"] = pack_lanes(matrix)
@@ -304,11 +314,10 @@ def simulate_chunk(task: Dict[str, object]) -> Tuple[List[Optional[int]], Dict[s
     program = _worker_program(task["program_key"], task["program_blob"])
     good = _worker_good_machine(program, task)
     stats = _new_stats()
-    first_detects = (
-        packed_first_detects_words
-        if task["fault_mode"] == "words"
-        else packed_first_detects
-    )
+    first_detects = {
+        "words": packed_first_detects_words,
+        "faults": packed_first_detects_faults,
+    }.get(task["fault_mode"], packed_first_detects)
     with obs.span(f"fault_sim/{program.name}/{task['fault_mode']}/grade"):
         first = first_detects(
             program,
@@ -585,6 +594,10 @@ def min_merge(
 
 
 def merge_chunk_stats(stats: Dict[str, object], chunk_stats: Dict[str, int]) -> None:
-    """Accumulate one chunk's work counters into the run's stats."""
+    """Accumulate one chunk's work counters into the run's stats.
+
+    Missing keys count as zero so journaled chunk results recorded before a
+    counter existed still replay cleanly.
+    """
     for key in CHUNK_STAT_KEYS:
-        stats[key] += chunk_stats[key]
+        stats[key] += chunk_stats.get(key, 0)

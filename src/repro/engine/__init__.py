@@ -26,12 +26,17 @@ from repro.engine.fault import (
     DROP_BLOCK_PATTERNS,
     FAULT_MODE_ENV_VAR,
     FAULT_MODES,
+    FAULT_WORD_LANES,
+    FAULTS_MODE_MAX_PATTERNS,
+    FAULTS_MODE_MIN_FAULTS,
     WORD_DROP_BLOCK_PATTERNS,
     FaultSimulationResult,
     NaiveFaultSimulator,
     PackedFaultSimulator,
+    fault_lane_mask,
     fault_mode_uses_words,
     resolve_fault_mode,
+    resolve_grading_kernel,
 )
 from repro.engine.packed import (
     LANE_MODE_MAX_PATTERNS,
@@ -67,6 +72,9 @@ __all__ = [
     "DROP_BLOCK_PATTERNS",
     "FAULT_MODE_ENV_VAR",
     "FAULT_MODES",
+    "FAULT_WORD_LANES",
+    "FAULTS_MODE_MAX_PATTERNS",
+    "FAULTS_MODE_MIN_FAULTS",
     "JOBS_ENV_VAR",
     "LANE_MODE_MAX_PATTERNS",
     "WORD_DROP_BLOCK_PATTERNS",
@@ -86,6 +94,7 @@ __all__ = [
     "compile_circuit",
     "default_backend_name",
     "default_jobs",
+    "fault_lane_mask",
     "fault_mode_uses_words",
     "get_backend",
     "pack_patterns",
@@ -93,6 +102,7 @@ __all__ = [
     "register_backend",
     "resolve_atpg_mode",
     "resolve_fault_mode",
+    "resolve_grading_kernel",
     "resolve_jobs",
     "set_default_backend",
     "set_default_jobs",

@@ -11,7 +11,7 @@ observable-difference detection semantics as the original
   output or flip-flop data input) differs from the good machine.
 
 **Grading modes.**  Like the packed logic simulator, the packed fault path
-has two execution strategies sharing the compiled program and producing
+has several execution strategies sharing the compiled program and producing
 bit-identical results:
 
 * ``"lanes"`` — good machine and faulty cones on arbitrary-width python
@@ -23,11 +23,24 @@ bit-identical results:
   explicit last-word mask (:func:`packed_first_detects_words`).  NumPy's
   per-call overhead is amortised over many words, so this wins once pattern
   sets grow wide (thousands of patterns — the fill-sweep / figure-2 shapes).
+* ``"faults"`` — the *fault-parallel* dual of lanes: 64 faults per uint64
+  word, one bit-lane each (:func:`packed_first_detects_faults`).  Each
+  pattern is replayed once through the union of the packed faults' cones
+  with every fault site forced in its own lane, and one XOR against the
+  broadcast good-machine value recovers all 64 detection bits at once.
+  The per-*fault* python loop of lanes becomes a per-*pattern* loop ~64x
+  wider per step, which wins the many-faults/few-patterns shapes (PODEM's
+  cube-verification drop sweeps grade one pattern against the whole
+  remaining fault list).
 
-``mode="auto"`` (the default) switches at
-:data:`~repro.engine.packed.LANE_MODE_MAX_PATTERNS` patterns, exactly like
-the logic simulator; the ``REPRO_FAULT_MODE`` environment variable forces a
-mode process-wide (:func:`resolve_fault_mode`).
+``mode="auto"`` (the default) picks the kernel from the run shape
+(:func:`resolve_grading_kernel`): ``words`` above
+:data:`~repro.engine.packed.LANE_MODE_MAX_PATTERNS` patterns exactly like
+the logic simulator, ``faults`` for pattern sets at most
+:data:`FAULTS_MODE_MAX_PATTERNS` wide against at least
+:data:`FAULTS_MODE_MIN_FAULTS` faults, ``lanes`` otherwise; the
+``REPRO_FAULT_MODE`` environment variable forces a mode process-wide
+(:func:`resolve_fault_mode`).
 
 **Fault dropping** is implemented by processing the pattern set in blocks of
 :data:`DROP_BLOCK_PATTERNS` patterns: once a fault is detected in a block it
@@ -90,6 +103,24 @@ DROP_BLOCK_PATTERNS = 128
 #: block-size-invariant either way — blocking only bounds skippable work.
 WORD_DROP_BLOCK_PATTERNS = 4096
 
+#: Faults per packed fault word in ``"faults"`` mode — one bit-lane each.
+FAULT_WORD_LANES = WORD_BITS
+
+#: ``auto`` considers the fault-parallel kernel only for pattern sets at
+#: most this wide.  The fault-packed word must replay every pattern one at
+#: a time, while a lanes cone replay costs roughly the same for 1 pattern
+#: as for a whole block — so the measured crossover
+#: (``benchmarks/bench_engine.py``, ``fault_parallel`` section) sits at
+#: 8–16 patterns: ~1.7x ahead at 8, break-even at 16, behind above.
+#: PODEM's drop sweeps (one filled cube vs the remaining list) are the
+#: headline shape, at 6–7x.
+FAULTS_MODE_MAX_PATTERNS = 8
+
+#: ... and only for fault lists long enough to fill a fault word: below one
+#: word of faults the ~64x lane win cannot pay for the per-pattern python
+#: loop, and lanes stays ahead.
+FAULTS_MODE_MIN_FAULTS = 64
+
 #: Environment variable forcing the packed fault-grading mode process-wide.
 FAULT_MODE_ENV_VAR = envvars.FAULT_MODE.name
 
@@ -109,11 +140,51 @@ def resolve_fault_mode(mode: Optional[str] = None) -> str:
     return mode
 
 
+def resolve_grading_kernel(mode: str, n_patterns: int, n_faults: int) -> str:
+    """The concrete kernel (``lanes``/``words``/``faults``) a run grades on.
+
+    ``auto`` resolves from the run shape: the word table wins wide pattern
+    sets, the fault-packed kernel wins many-faults/few-patterns shapes, and
+    big-int lanes take everything in between.  Distributed parents resolve
+    once with the full run shape and ship the resolved kernel to every
+    chunk, so chunking never changes the kernel (or the results).
+    """
+    if mode != "auto":
+        return mode
+    if n_patterns > LANE_MODE_MAX_PATTERNS:
+        return "words"
+    if n_patterns <= FAULTS_MODE_MAX_PATTERNS and n_faults >= FAULTS_MODE_MIN_FAULTS:
+        return "faults"
+    return "lanes"
+
+
 def fault_mode_uses_words(mode: str, n_patterns: int) -> bool:
-    """Whether ``mode`` grades ``n_patterns`` patterns on the word table."""
+    """Whether ``mode`` grades ``n_patterns`` patterns on the word table.
+
+    Retained shim over :func:`resolve_grading_kernel` for callers that only
+    care about the good-machine representation (the word table vs big-int
+    lanes; the ``faults`` kernel reads the lanes representation).
+    """
     if mode == "auto":
         return n_patterns > LANE_MODE_MAX_PATTERNS
     return mode == "words"
+
+
+def fault_lane_mask(n_lanes: int) -> int:
+    """Valid-lane mask for a fault word holding ``n_lanes`` packed faults.
+
+    The fault-axis dual of :func:`~repro.engine.packed.tail_mask`: the last
+    fault word of a run usually holds fewer than
+    :data:`FAULT_WORD_LANES` faults, and every detection word must be
+    masked to the populated lanes before lanes are mapped back to faults —
+    an unmasked tail lane would scatter a detection onto a fault that does
+    not exist.  ``n_lanes`` counts the populated lanes of the word; a
+    multiple of the word width (including a full word) keeps every lane.
+    """
+    bits = n_lanes % FAULT_WORD_LANES
+    if bits == 0:
+        return (1 << FAULT_WORD_LANES) - 1
+    return (1 << bits) - 1
 
 
 @dataclass
@@ -148,7 +219,12 @@ class FaultSimulationResult:
 
 
 def _new_stats() -> Dict[str, int]:
-    return {"blocks": 0, "cone_evaluations": 0, "dropped_block_evaluations": 0}
+    return {
+        "blocks": 0,
+        "cone_evaluations": 0,
+        "dropped_block_evaluations": 0,
+        "fault_words": 0,
+    }
 
 
 def _flush_run_telemetry(
@@ -711,6 +787,213 @@ def packed_first_detects_words(
     return first_detect
 
 
+def packed_first_detects_faults(
+    program,
+    good: Sequence[int],
+    n_patterns: int,
+    sites: Sequence[Optional[int]],
+    stuck_values: Sequence[int],
+    block_patterns: int = DROP_BLOCK_PATTERNS,
+    drop_detected: bool = True,
+    pattern_start: int = 0,
+    pattern_stop: Optional[int] = None,
+    stats: Optional[Dict[str, int]] = None,
+) -> List[Optional[int]]:
+    """Fault-parallel counterpart of :func:`packed_first_detects`.
+
+    Instead of packing patterns into lanes and looping over faults, this
+    kernel packs up to :data:`FAULT_WORD_LANES` faults into one big-int word
+    (one bit-lane per fault) and loops over patterns: each pattern is
+    replayed once through the union of the packed faults' cones with every
+    fault site forced to its stuck value *in its own lane only*, and a
+    single XOR against the broadcast good-machine value yields the
+    detection bit of all packed faults at once.  A lane can only diverge
+    from the good machine inside its own fault's cone, so diffing the union
+    of the detect rows attributes detections to the right lanes by
+    construction.  Because patterns are visited in ascending order, the
+    first pattern whose diff word sets a lane *is* that fault's
+    first-detecting pattern — bit-identical to the lanes/words kernels.
+
+    Fault sites driven by gates inside the union cone (one packed fault
+    upstream of another's site) are re-forced lane-wise after the driving
+    gate writes, and detection words are masked with
+    :func:`fault_lane_mask` so the unpopulated tail lanes of the last fault
+    word can never scatter onto nonexistent faults.
+
+    Fault dropping works on the same :data:`DROP_BLOCK_PATTERNS` blocks as
+    the lanes kernel — ``cone_evaluations`` counts one per still-undetected
+    fault per block, identical across kernels and chunkings — and a fully
+    detected fault word stops replaying patterns immediately.
+
+    Args: see :func:`packed_first_detects`; ``good`` is the same big-int
+    lanes representation, ``stats`` additionally accumulates
+    ``fault_words``.
+    """
+    if stats is None:
+        stats = _new_stats()
+    if pattern_stop is None:
+        pattern_stop = n_patterns
+    n_faults = len(sites)
+    first_detect: List[Optional[int]] = [None] * n_faults
+    range_width = pattern_stop - pattern_start
+    if range_width <= 0 or n_faults == 0:
+        return first_detect
+
+    # Only gradeable faults occupy lanes; unknown nets and structurally
+    # unobservable sites are undetected with no work, as in every kernel.
+    gradeable: List[int] = []
+    for index in range(n_faults):
+        row = sites[index]
+        if row is None:
+            continue
+        cone = program.cone(row)
+        if not cone.detect_rows and not cone.site_observable:
+            continue  # structurally unobservable: undetected, no work
+        gradeable.append(index)
+    if not gradeable:
+        return first_detect
+
+    block_size = max(1, int(block_patterns)) if drop_detected else range_width
+    blocks = [
+        range(s, min(s + block_size, pattern_stop))
+        for s in range(pattern_start, pattern_stop, block_size)
+    ]
+    # Same pre-serialisation trick as the lanes kernel: byte-window slices
+    # keep good-block extraction linear in the pattern count across blocks.
+    byte_aligned = block_size % 8 == 0 and pattern_start % 8 == 0 and len(blocks) > 1
+    if byte_aligned:
+        total_bytes = (n_patterns + 7) // 8
+        good_bytes = [lane.to_bytes(total_bytes, "little") for lane in good]
+
+    stuck_flags = [bool(value) for value in stuck_values]
+    node_prog = program.node_prog
+    full = fault_lane_mask(FAULT_WORD_LANES)
+    # `blocks` reports pattern blocks processed, like the pattern-packed
+    # kernels: the word that survives furthest defines how much of the
+    # pattern axis was walked (a no-drop run is one full-width block).
+    blocks_processed = 0
+    for word_lo in range(0, len(gradeable), FAULT_WORD_LANES):
+        word = gradeable[word_lo : word_lo + FAULT_WORD_LANES]
+        stats["fault_words"] += 1
+        # Per-site lane masks: `keep` clears exactly the lanes whose fault
+        # lives on the row (their good bits are replaced by `stuck`).
+        site_lanes: Dict[int, int] = {}
+        stuck: Dict[int, int] = {}
+        union_positions: set = set()
+        union_detects: set = set()
+        observable_rows: set = set()
+        for lane, index in enumerate(word):
+            row = sites[index]
+            site_lanes[row] = site_lanes.get(row, 0) | (1 << lane)
+            if stuck_flags[index]:
+                stuck[row] = stuck.get(row, 0) | (1 << lane)
+            else:
+                stuck.setdefault(row, 0)
+            cone = program.cone(row)
+            union_positions.update(cone.positions)
+            union_detects.update(cone.detect_rows)
+            if cone.site_observable:
+                observable_rows.add(row)
+        keep = {row: full ^ lanes for row, lanes in site_lanes.items()}
+        # Node positions are topological by construction, so the sorted
+        # union replays every packed cone in one consistent pass.
+        positions = [node_prog[pos] for pos in sorted(union_positions)]
+        check_rows = sorted(union_detects | observable_rows)
+        needed = set(check_rows) | set(site_lanes)
+        for _op, _out, src in positions:
+            needed.update(src)
+        needed_rows = sorted(needed)
+
+        undet = fault_lane_mask(len(word))
+        word_blocks = 0
+        for block in blocks:
+            word_blocks += 1
+            active = bin(undet).count("1")
+            stats["cone_evaluations"] += active
+            stats["dropped_block_evaluations"] += len(word) - active
+            start, width = block.start, len(block)
+            block_mask = (1 << width) - 1
+            if byte_aligned:
+                lo, hi = start // 8, (block.stop + 7) // 8
+                good_block = {
+                    row: int.from_bytes(good_bytes[row][lo:hi], "little")
+                    & block_mask
+                    for row in needed_rows
+                }
+            elif start:
+                good_block = {
+                    row: (good[row] >> start) & block_mask for row in needed_rows
+                }
+            else:
+                good_block = {row: good[row] & block_mask for row in needed_rows}
+            for offset in range(width):
+                # Broadcast each needed good bit across all fault lanes,
+                # then force the fault sites lane-wise.
+                gcast = {
+                    row: -((bits >> offset) & 1) & full
+                    for row, bits in good_block.items()
+                }
+                vals = dict(gcast)
+                for row, keep_lanes in keep.items():
+                    vals[row] = (gcast[row] & keep_lanes) | stuck[row]
+                # Inline opcode dispatch, mirroring packed_first_detects
+                # (see the note there); operands always resolve through
+                # `vals`, which overlays faulty values on the broadcasts.
+                for op, out, src in positions:
+                    if op == OP_AND or op == OP_NAND:
+                        acc = vals[src[0]]
+                        for r in src[1:]:
+                            acc &= vals[r]
+                        if op == OP_NAND:
+                            acc ^= full
+                    elif op == OP_OR or op == OP_NOR:
+                        acc = vals[src[0]]
+                        for r in src[1:]:
+                            acc |= vals[r]
+                        if op == OP_NOR:
+                            acc ^= full
+                    elif op == OP_XOR or op == OP_XNOR:
+                        acc = vals[src[0]]
+                        for r in src[1:]:
+                            acc ^= vals[r]
+                        if op == OP_XNOR:
+                            acc ^= full
+                    elif op == OP_NOT:
+                        acc = vals[src[0]] ^ full
+                    elif op == OP_BUF:
+                        acc = vals[src[0]]
+                    elif op == OP_CONST0:
+                        acc = 0
+                    else:  # OP_CONST1
+                        acc = full
+                    keep_lanes = keep.get(out)
+                    if keep_lanes is not None:
+                        # The gate drives another packed fault's site:
+                        # re-force those lanes so the stuck value survives.
+                        acc = (acc & keep_lanes) | stuck[out]
+                    vals[out] = acc
+                diff = 0
+                for row in check_rows:
+                    diff |= vals[row] ^ gcast[row]
+                # fault_lane_mask discipline: `undet` never leaves the
+                # populated lanes, so tail-lane garbage cannot record.
+                new = diff & undet
+                if new:
+                    pattern_index = start + offset
+                    while new:
+                        lane = _lowest_bit(new)
+                        first_detect[word[lane]] = pattern_index
+                        new &= new - 1
+                    undet &= full ^ diff
+                    if drop_detected and not undet:
+                        break
+            if drop_detected and not undet:
+                break
+        blocks_processed = max(blocks_processed, word_blocks)
+    stats["blocks"] += blocks_processed
+    return first_detect
+
+
 class PackedFaultSimulator:
     """Bit-packed fault simulator over the compiled program.
 
@@ -723,12 +1006,12 @@ class PackedFaultSimulator:
 
     Args:
         circuit: circuit under test (compiled here if no ``program`` given).
-        block_patterns: fault-dropping block size; defaults per mode
-            (:data:`DROP_BLOCK_PATTERNS` for lanes,
+        block_patterns: fault-dropping block size; defaults per kernel
+            (:data:`DROP_BLOCK_PATTERNS` for lanes/faults,
             :data:`WORD_DROP_BLOCK_PATTERNS` for words).
         program: reuse an already-compiled program for ``circuit``.
-        mode: ``"auto"``, ``"lanes"`` or ``"words"``; ``None`` resolves
-            through :func:`resolve_fault_mode` (``REPRO_FAULT_MODE``).
+        mode: ``"auto"``, ``"lanes"``, ``"words"`` or ``"faults"``; ``None``
+            resolves through :func:`resolve_fault_mode` (``REPRO_FAULT_MODE``).
     """
 
     def __init__(
@@ -746,10 +1029,10 @@ class PackedFaultSimulator:
         self.program = program if program is not None else compile_circuit(circuit)
         self.last_run_stats: Dict[str, int] = _new_stats()
 
-    def _block_patterns_for(self, use_words: bool) -> int:
+    def _block_patterns_for(self, kernel: str) -> int:
         if self.block_patterns is not None:
             return self.block_patterns
-        return WORD_DROP_BLOCK_PATTERNS if use_words else DROP_BLOCK_PATTERNS
+        return WORD_DROP_BLOCK_PATTERNS if kernel == "words" else DROP_BLOCK_PATTERNS
 
     def run(
         self,
@@ -766,14 +1049,14 @@ class PackedFaultSimulator:
         faults = _unique_faults(faults)
         n_patterns = len(patterns)
         matrix = check_pattern_matrix(patterns.matrix, program.n_inputs)
-        use_words = fault_mode_uses_words(self.mode, n_patterns)
-        stats["fault_mode"] = "words" if use_words else "lanes"
+        kernel = resolve_grading_kernel(self.mode, n_patterns, len(faults))
+        stats["fault_mode"] = kernel
 
         # Resolve fault sites once; faults on unknown nets can never be
         # detected (matching the naive simulator's empty-cone behaviour).
         sites: List[Optional[int]] = [program.row_of(f.net) for f in faults]
         stuck_values = [1 if f.stuck_value else 0 for f in faults]
-        if use_words:
+        if kernel == "words":
             with obs.span(f"logic_sim/{program.name}/words"):
                 good_table = evaluate_words(
                     program, pack_patterns(matrix), n_patterns
@@ -785,22 +1068,28 @@ class PackedFaultSimulator:
                     n_patterns,
                     sites,
                     stuck_values,
-                    block_patterns=self._block_patterns_for(True),
+                    block_patterns=self._block_patterns_for(kernel),
                     drop_detected=drop_detected,
                     stats=stats,
                 )
         else:
+            # The lanes and faults kernels share the big-int good machine.
             full_mask = (1 << n_patterns) - 1
-            with obs.span(f"logic_sim/{program.name}/lanes"):
+            with obs.span(f"logic_sim/{program.name}/{kernel}"):
                 good = evaluate_lanes(program, pack_lanes(matrix), full_mask)
-            with obs.span(f"fault_sim/{program.name}/lanes/grade"):
-                first_detect = packed_first_detects(
+            grade = (
+                packed_first_detects_faults
+                if kernel == "faults"
+                else packed_first_detects
+            )
+            with obs.span(f"fault_sim/{program.name}/{kernel}/grade"):
+                first_detect = grade(
                     program,
                     good,
                     n_patterns,
                     sites,
                     stuck_values,
-                    block_patterns=self._block_patterns_for(False),
+                    block_patterns=self._block_patterns_for(kernel),
                     drop_detected=drop_detected,
                     stats=stats,
                 )

@@ -37,10 +37,12 @@ Two sharding strategies cover the two workload shapes
 
 Both strategies produce detection maps and first-detecting pattern indices
 bit-identical to the ``packed`` and ``naive`` backends (the parity suite in
-``tests/test_sharded.py`` asserts this), and both grade in either packed
-fault mode (big-int lanes or the vectorised uint64 word table), resolved
-once in the parent exactly like
-:class:`~repro.engine.fault.PackedFaultSimulator` resolves it.
+``tests/test_sharded.py`` asserts this), and both grade on any packed
+kernel (big-int lanes, the vectorised uint64 word table, or the
+fault-parallel fault-word kernel), resolved once in the parent from the
+full run shape exactly like
+:class:`~repro.engine.fault.PackedFaultSimulator` resolves it — chunks
+never re-resolve, so chunking cannot change the kernel.
 
 The pool lifecycle lives in :mod:`repro.engine.pool`: created on first use,
 sized by ``jobs``/:func:`set_default_jobs`/``REPRO_JOBS``/``os.cpu_count()``,
@@ -114,9 +116,9 @@ class ShardedFaultSimulator(ClusterFaultSimulator):
         chunks_per_worker / min_chunk_faults: sharding knobs, mainly for
             tests; the defaults balance load without drowning small runs in
             per-task overhead.
-        mode: packed fault-grading mode (``"auto"``/``"lanes"``/``"words"``)
-            applied identically in every worker; ``None`` resolves through
-            :func:`~repro.engine.fault.resolve_fault_mode`.
+        mode: packed fault-grading mode (``"auto"``/``"lanes"``/``"words"``/
+            ``"faults"``) applied identically in every worker; ``None``
+            resolves through :func:`~repro.engine.fault.resolve_fault_mode`.
         chunk_plan: fault-chunk sizing — ``"adaptive"`` (default) sizes
             chunks from measured cone cost, ``"static"`` forces the fixed
             equal-count plan; ``None`` resolves through ``REPRO_CHUNK_PLAN``.

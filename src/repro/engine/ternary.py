@@ -41,6 +41,15 @@ the search.  Distributed schedulers prefetch speculatively and stale-lease
 retries may run a fault twice, so recording inside ``run()`` would
 double-count; recording at consumption keeps the counters exactly equal
 across the single-process, sharded and cluster paths.
+
+A generated cube is not the end of the pipeline: the ATPG driver
+immediately fault-simulates a filled copy of it against the remaining fault
+list (fault dropping).  That verification sweep is a one-pattern/many-fault
+shape, the exact dual of what this engine optimises, and it is served by
+the fault-parallel grading kernel
+(:func:`~repro.engine.fault.packed_first_detects_faults`) which packs 64
+remaining faults per machine word — so both halves of the PODEM loop now
+run wide instead of one-at-a-time.
 """
 
 from __future__ import annotations

@@ -179,7 +179,7 @@ def parse_string(value: object, source: str = "value") -> str:
 
 
 #: Canonical choice sets (single source; domain modules re-export these).
-FAULT_MODES = ("auto", "lanes", "words")
+FAULT_MODES = ("auto", "lanes", "words", "faults")
 ATPG_MODES = ("auto", "dict", "compiled")
 CHUNK_PLANS = ("adaptive", "static")
 
@@ -299,8 +299,10 @@ JOBS = declare(
 FAULT_MODE = declare(
     "REPRO_FAULT_MODE",
     parse_choice(FAULT_MODES, "fault mode"),
-    "Packed fault-grading strategy: big-int `lanes`, vectorised `words`, or "
-    "`auto` (lanes up to 4096 patterns).",
+    "Packed fault-grading strategy: pattern-parallel big-int `lanes`, "
+    "vectorised `words`, fault-parallel `faults` (64 faults per word), or "
+    "`auto` (words above 4096 patterns, faults for many-faults/few-patterns "
+    "shapes, lanes otherwise).",
     default=None,
     default_doc="`auto`",
 )

@@ -36,6 +36,10 @@ COUNTERS: Dict[str, str] = {
     "fault_sim.dropped_block_evaluations": (
         "cone evaluations skipped by fault dropping (scheduling-dependent)."
     ),
+    "fault_sim.fault_words": (
+        "fault words packed by the fault-parallel kernel (64 lanes each; "
+        "word packing follows chunk boundaries, so scheduling-dependent)."
+    ),
     "fault_sim.runs": "complete fault-simulation runs.",
     "fault_sim.patterns": "test patterns graded, summed over runs.",
     "fault_sim.faults": "faults graded (detected + undetected).",

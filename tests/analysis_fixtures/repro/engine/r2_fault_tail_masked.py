@@ -1,0 +1,23 @@
+"""R2 negative: fault-word packing under the fault_lane_mask discipline."""
+
+from repro.engine.fault import FAULT_WORD_LANES, fault_lane_mask
+
+
+def grade_fault_words(program, good, sites, stuck_values):
+    # The undetected set starts from fault_lane_mask, so the unpopulated
+    # tail lanes of the last word can never record a detection.
+    detected = []
+    for word_lo in range(0, len(sites), FAULT_WORD_LANES):
+        word = sites[word_lo : word_lo + FAULT_WORD_LANES]
+        undet = fault_lane_mask(len(word))
+        diff = _diff_word(program, good, word, stuck_values)
+        new = diff & undet
+        while new:
+            lane = (new & -new).bit_length() - 1
+            detected.append(word_lo + lane)
+            new &= new - 1
+    return detected
+
+
+def _diff_word(program, good, word, stuck_values):
+    return 0

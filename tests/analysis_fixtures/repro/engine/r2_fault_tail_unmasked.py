@@ -1,0 +1,24 @@
+"""R2 positive: fault-word packing that leaks unpopulated tail lanes."""
+
+from repro.engine.fault import FAULT_WORD_LANES
+
+
+def grade_fault_words(program, good, sites, stuck_values):
+    # Packs faults into 64-lane words but never applies fault_lane_mask:
+    # the last word's unpopulated lanes ride along as valid detections and
+    # scatter onto fault indices that do not exist.
+    detected = []
+    for word_lo in range(0, len(sites), FAULT_WORD_LANES):
+        word = sites[word_lo : word_lo + FAULT_WORD_LANES]
+        undet = (1 << FAULT_WORD_LANES) - 1
+        diff = _diff_word(program, good, word, stuck_values)
+        new = diff & undet
+        while new:
+            lane = (new & -new).bit_length() - 1
+            detected.append(word_lo + lane)
+            new &= new - 1
+    return detected
+
+
+def _diff_word(program, good, word, stuck_values):
+    return 0

@@ -46,6 +46,7 @@ class TestRuleFixtures:
         [
             ("r1_unseeded.py", "r1_seeded.py", "R1"),
             ("r2_unmasked.py", "r2_masked.py", "R2"),
+            ("r2_fault_tail_unmasked.py", "r2_fault_tail_masked.py", "R2"),
             ("r3_direct_read.py", "r3_registry.py", "R3"),
             ("r4_closure.py", "r4_module_level.py", "R4"),
             ("r5_rogue_counter.py", "r5_declared.py", "R5"),
@@ -78,6 +79,15 @@ class TestRuleFixtures:
         ]
         assert any("without n_patterns" in m for m in messages)
         assert any("WORD_BITS" in m for m in messages)
+
+    def test_r2_catches_fault_word_tail_lanes(self, fixture_report):
+        messages = [
+            f.message
+            for f in fixture_report.findings
+            if f.path.endswith("r2_fault_tail_unmasked.py")
+        ]
+        assert any("FAULT_WORD_LANES" in m for m in messages)
+        assert any("fault_lane_mask" in m for m in messages)
 
     def test_r3_distinguishes_bypass_from_undeclared(self, fixture_report):
         messages = [

@@ -197,7 +197,7 @@ CIRCUITS = [
 class TestLocalTransportParity:
     @pytest.mark.parametrize("make_circuit", CIRCUITS)
     @pytest.mark.parametrize("drop", [True, False])
-    @pytest.mark.parametrize("fault_mode", ["lanes", "words"])
+    @pytest.mark.parametrize("fault_mode", ["lanes", "words", "faults"])
     def test_detection_map_parity(self, make_circuit, drop, fault_mode):
         circuit = make_circuit()
         patterns = _patterns(circuit, 130, seed=9)

@@ -252,7 +252,7 @@ class TestFaultModes:
         faults = full_fault_list(circuit)
         reference = NaiveFaultSimulator(circuit).run(patterns, faults)
         results = {}
-        for mode in ("lanes", "words"):
+        for mode in ("lanes", "words", "faults"):
             results[f"packed-{mode}"] = PackedFaultSimulator(circuit, mode=mode).run(
                 patterns, faults
             )
@@ -316,7 +316,7 @@ class TestFaultModes:
 class TestDuplicateFaults:
     """Duplicate faults must collapse to one entry, not skew coverage."""
 
-    @pytest.mark.parametrize("mode", ["lanes", "words"])
+    @pytest.mark.parametrize("mode", ["lanes", "words", "faults"])
     def test_duplicates_counted_once(self, mode):
         circuit = c17()
         patterns = TestSet.from_matrix(_random_patterns(circuit, 40, seed=5))

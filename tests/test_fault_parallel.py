@@ -1,0 +1,223 @@
+"""Tests for the fault-parallel grading kernel (``mode="faults"``).
+
+The kernel packs 64 faults per ``uint64`` lane word and replays each
+pattern once over the union of the packed faults' cones, so the contract
+is the same bit-for-bit parity bar the lanes and words kernels already
+clear: identical detection maps, identical first-detecting pattern
+indices, identical fault order — against the naive reference, across
+every benchmark profile, on every backend (packed / sharded / cluster
+over local, mp and queue transports, including a chaos-seeded kill), and
+through PODEM's fault-dropping sweep where the kernel collapses the
+historical one-fault-at-a-time tail.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.atpg.collapse import collapse_faults
+from repro.atpg.faults import full_fault_list
+from repro.atpg.tpg import generate_test_cubes
+from repro.circuit.generator import CircuitSpec, generate_circuit
+from repro.circuit.library import b01_like_fsm
+from repro.cluster import ClusterFaultSimulator, QueueTransport
+from repro.cluster.chaos import CHAOS_ENV_VAR
+from repro.cubes.cube import TestSet
+from repro.engine import (
+    FAULT_MODE_ENV_VAR,
+    FAULT_WORD_LANES,
+    FAULTS_MODE_MAX_PATTERNS,
+    FAULTS_MODE_MIN_FAULTS,
+    LANE_MODE_MAX_PATTERNS,
+    NaiveFaultSimulator,
+    PackedFaultSimulator,
+    ShardedFaultSimulator,
+    fault_lane_mask,
+    resolve_grading_kernel,
+)
+from repro.experiments.workloads import build_workload, default_workload_names
+
+
+def _random_patterns(circuit, n_patterns: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 2, size=(n_patterns, circuit.n_test_pins)).astype(np.int8)
+
+
+def _patterns(circuit, n: int, seed: int = 0) -> TestSet:
+    return TestSet.from_matrix(_random_patterns(circuit, n, seed=seed))
+
+
+def _sample_faults(circuit, cap: int):
+    faults = collapse_faults(circuit)
+    if len(faults) > cap:
+        stride = len(faults) / cap
+        faults = [faults[int(i * stride)] for i in range(cap)]
+    return faults
+
+
+def _assert_same(reference, result, context=""):
+    assert list(reference.detected.items()) == list(result.detected.items()), context
+    assert reference.undetected == result.undetected, context
+    assert reference.coverage == result.coverage, context
+
+
+class TestFaultLaneMask:
+    """The fault-axis dual of tail_mask: unpopulated lanes never grade."""
+
+    def test_values(self):
+        assert fault_lane_mask(1) == 1
+        assert fault_lane_mask(63) == (1 << 63) - 1
+        assert fault_lane_mask(64) == (1 << 64) - 1
+        assert fault_lane_mask(65) == 1
+        assert fault_lane_mask(130) == 3
+
+    def test_full_words_saturate(self):
+        full = (1 << FAULT_WORD_LANES) - 1
+        assert fault_lane_mask(FAULT_WORD_LANES) == full
+        assert fault_lane_mask(4 * FAULT_WORD_LANES) == full
+
+
+class TestKernelResolution:
+    """The auto heuristic picks the kernel from the run's (patterns, faults) shape."""
+
+    @pytest.mark.parametrize("mode", ["lanes", "words", "faults"])
+    def test_explicit_mode_passes_through(self, mode):
+        assert resolve_grading_kernel(mode, 1, 10_000) == mode
+        assert resolve_grading_kernel(mode, 10_000, 1) == mode
+
+    def test_wide_pattern_sets_go_to_words(self):
+        assert (
+            resolve_grading_kernel("auto", LANE_MODE_MAX_PATTERNS + 1, 100_000)
+            == "words"
+        )
+
+    def test_many_faults_few_patterns_goes_to_faults(self):
+        assert (
+            resolve_grading_kernel(
+                "auto", FAULTS_MODE_MAX_PATTERNS, FAULTS_MODE_MIN_FAULTS
+            )
+            == "faults"
+        )
+        # PODEM's drop sweep shape: one filled cube, the whole remaining list.
+        assert resolve_grading_kernel("auto", 1, 1000) == "faults"
+
+    def test_middle_ground_stays_on_lanes(self):
+        assert resolve_grading_kernel("auto", FAULTS_MODE_MAX_PATTERNS + 1, 1000) == "lanes"
+        assert resolve_grading_kernel("auto", 8, FAULTS_MODE_MIN_FAULTS - 1) == "lanes"
+
+    def test_auto_run_reports_faults_kernel(self):
+        circuit = generate_circuit(CircuitSpec("auto_faults", 8, 6, 120, seed=2))
+        faults = full_fault_list(circuit)
+        assert len(faults) >= FAULTS_MODE_MIN_FAULTS
+        simulator = PackedFaultSimulator(circuit, mode="auto")
+        result = simulator.run(_patterns(circuit, FAULTS_MODE_MAX_PATTERNS), faults)
+        assert simulator.last_run_stats["fault_mode"] == "faults"
+        reference = PackedFaultSimulator(circuit, mode="lanes").run(
+            _patterns(circuit, FAULTS_MODE_MAX_PATTERNS), faults
+        )
+        _assert_same(reference, result)
+
+
+class TestBenchmarkProfileParity:
+    """naive × lanes × words × faults over every benchmark profile."""
+
+    @pytest.mark.parametrize("name", default_workload_names())
+    def test_four_way_parity(self, name):
+        workload = build_workload(name)
+        circuit = workload.circuit
+        # >= 2 fault words with a ragged tail; capped so the naive
+        # reference stays affordable on the largest profiles.
+        cap = 130 if circuit.n_gates <= 650 else 70
+        faults = _sample_faults(circuit, cap)
+        patterns = _patterns(circuit, 45, seed=7)
+        reference = NaiveFaultSimulator(circuit).run(patterns, faults)
+        for mode in ("lanes", "words", "faults"):
+            for drop in (True, False):
+                result = PackedFaultSimulator(circuit, mode=mode).run(
+                    patterns, faults, drop_detected=drop
+                )
+                _assert_same(reference, result, (name, mode, drop))
+
+
+class TestForcedFaultsMode:
+    """REPRO_FAULT_MODE=faults must hold on every distributed backend."""
+
+    def test_sharded_honours_env(self, monkeypatch):
+        monkeypatch.setenv(FAULT_MODE_ENV_VAR, "faults")
+        circuit = b01_like_fsm()
+        patterns = _patterns(circuit, 100, seed=3)
+        faults = full_fault_list(circuit)
+        simulator = ShardedFaultSimulator(
+            circuit, jobs=2, min_chunk_faults=2, chunks_per_worker=2
+        )
+        result = simulator.run(patterns, faults)
+        assert simulator.mode == "faults"
+        _assert_same(NaiveFaultSimulator(circuit).run(patterns, faults), result)
+
+    @pytest.mark.parametrize("transport", ["local", "mp"])
+    def test_cluster_honours_env(self, monkeypatch, transport):
+        monkeypatch.setenv(FAULT_MODE_ENV_VAR, "faults")
+        circuit = b01_like_fsm()
+        patterns = _patterns(circuit, 100, seed=3)
+        faults = collapse_faults(circuit)
+        simulator = ClusterFaultSimulator(
+            circuit, transport=transport, jobs=2, min_chunk_faults=2, chunks_per_worker=2
+        )
+        result = simulator.run(patterns, faults)
+        assert simulator.mode == "faults"
+        if transport == "mp" and simulator.last_run_stats["mode"] == "inline":
+            pytest.skip("worker pool unavailable in this environment")
+        reference = PackedFaultSimulator(circuit, mode="lanes").run(patterns, faults)
+        _assert_same(reference, result, transport)
+
+    def test_cluster_queue_with_chaos_kill(self, monkeypatch):
+        monkeypatch.setenv(FAULT_MODE_ENV_VAR, "faults")
+        monkeypatch.setenv(CHAOS_ENV_VAR, "11:kill=0.2")
+        circuit = b01_like_fsm()
+        patterns = _patterns(circuit, 100, seed=3)
+        faults = collapse_faults(circuit)
+        reference = PackedFaultSimulator(circuit, mode="lanes").run(patterns, faults)
+        transport = QueueTransport(
+            workers=2,
+            jobs=2,
+            lease_timeout=1.0,
+            poll_interval=0.01,
+            self_drain_after=0.5,
+            task_retries=6,
+        )
+        try:
+            simulator = ClusterFaultSimulator(
+                circuit,
+                transport=transport,
+                jobs=2,
+                min_chunk_faults=2,
+                chunks_per_worker=2,
+            )
+            result = simulator.run(patterns, faults)
+            assert simulator.mode == "faults"
+            _assert_same(reference, result, "chaos kill")
+        finally:
+            transport.close()
+
+
+class TestPodemFaultPackedDrop:
+    """The fault-packed drop sweep must not change a single ATPG byte."""
+
+    def _assert_results_identical(self, a, b, context=""):
+        assert np.array_equal(a.cubes.matrix, b.cubes.matrix), context
+        assert a.circuit_name == b.circuit_name, context
+        assert list(a.detected_faults.items()) == list(b.detected_faults.items()), context
+        assert a.untestable_faults == b.untestable_faults, context
+        assert a.aborted_faults == b.aborted_faults, context
+        assert a.total_faults == b.total_faults, context
+
+    def test_atpg_result_byte_identical_across_drop_modes(self):
+        circuit = build_workload("b10").circuit
+        kwargs = dict(max_faults=150, backtrack_limit=15, seed=0)
+        lanes = generate_test_cubes(circuit, drop_fault_mode="lanes", **kwargs)
+        faults_mode = generate_test_cubes(circuit, drop_fault_mode="faults", **kwargs)
+        default = generate_test_cubes(circuit, **kwargs)
+        assert len(lanes.cubes) > 4
+        self._assert_results_identical(lanes, faults_mode, "lanes vs faults")
+        self._assert_results_identical(lanes, default, "lanes vs default")

@@ -269,7 +269,7 @@ class TestEngineTelemetry:
         )
         assert _parity_subset(naive) == _parity_subset(packed)
 
-    @pytest.mark.parametrize("fault_mode", ["lanes", "words"])
+    @pytest.mark.parametrize("fault_mode", ["lanes", "words", "faults"])
     def test_fault_modes_match(self, fault_mode):
         # cone_evaluations is kernel-granularity-dependent (lanes counts one
         # per fault x block, the words table one per fault), so it is only

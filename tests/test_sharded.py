@@ -79,7 +79,7 @@ class TestShardedParity:
     @pytest.mark.parametrize("make_circuit", CIRCUITS)
     @pytest.mark.parametrize("n_patterns", [1, 63, 64, 65, 130])
     @pytest.mark.parametrize("drop", [True, False])
-    @pytest.mark.parametrize("fault_mode", ["lanes", "words"])
+    @pytest.mark.parametrize("fault_mode", ["lanes", "words", "faults"])
     def test_detection_map_parity(self, make_circuit, n_patterns, drop, fault_mode):
         circuit = make_circuit()
         patterns = TestSet.from_matrix(_random_patterns(circuit, n_patterns, seed=9))
