@@ -80,6 +80,7 @@ from repro.engine.packed import LANE_MODE_MAX_PATTERNS
 from repro.engine.sharded import JOBS_ENV_VAR, parse_jobs, set_default_jobs
 from repro.experiments.workloads import Workload, build_workload, default_workload_names
 from repro.obs import metrics as obs_metrics
+from repro.obs import timeline as obs_timeline
 from repro.obs import recorder as obs
 from repro.power.estimator import PowerEstimator
 
@@ -686,7 +687,11 @@ def _cluster_sweep(jobs: int, largest_row: dict) -> dict:
     }
 
 
-def _obs_sweep(largest_row: dict, metrics_path: Optional[str]) -> dict:
+def _obs_sweep(
+    largest_row: dict,
+    metrics_path: Optional[str],
+    trace_path: Optional[str] = None,
+) -> dict:
     """Measure tracing overhead and record a traced per-kernel breakdown.
 
     The overhead number times the packed fault kernel on the largest
@@ -733,6 +738,13 @@ def _obs_sweep(largest_row: dict, metrics_path: Optional[str]) -> dict:
 
     # Dedicated traced pass: one fault-simulation run plus a compiled-PODEM
     # sample, so the span table covers both kernels on the same profile.
+    # The timeline tier stays off for the overhead measurement above — the
+    # gate certifies the default configuration — and turns on here only
+    # when a trace artifact was requested.
+    timeline_here = False
+    if trace_path and not obs.timeline_enabled():
+        obs.enable_timeline()
+        timeline_here = True
     obs.reset()
     build()()
     engine = PodemEngine(
@@ -741,10 +753,12 @@ def _obs_sweep(largest_row: dict, metrics_path: Optional[str]) -> dict:
     for fault in _sampled_faults(circuit):
         engine.generate(fault)
     snap = obs.snapshot()
-    written = obs_metrics.maybe_write_metrics(
-        metrics_path,
-        meta={"tool": "bench_engine", "circuit": name, "pass": "traced-breakdown"},
-    )
+    meta = {"tool": "bench_engine", "circuit": name, "pass": "traced-breakdown"}
+    written = obs_metrics.maybe_write_metrics(metrics_path, meta=meta)
+    if trace_path:
+        obs_timeline.write_trace(trace_path, obs_metrics.metrics_payload(meta=meta))
+    if timeline_here:
+        obs.enable_timeline(False)
     if not was_enabled:
         obs.disable()
 
@@ -767,6 +781,8 @@ def _obs_sweep(largest_row: dict, metrics_path: Optional[str]) -> dict:
         )
     if written:
         print(f"metrics written: {written}")
+    if trace_path:
+        print(f"trace written: {trace_path} (load it at https://ui.perfetto.dev)")
     return {
         "circuit": name,
         "overhead": {
@@ -777,6 +793,7 @@ def _obs_sweep(largest_row: dict, metrics_path: Optional[str]) -> dict:
         "counters": dict(sorted(snap["counters"].items())),
         "spans": spans,
         "metrics_path": written,
+        "trace_path": trace_path,
     }
 
 
@@ -792,6 +809,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the traced pass's telemetry as a metrics JSON "
         "artifact at PATH (default: the REPRO_METRICS environment variable)",
     )
+    parser.add_argument(
+        "--trace-out",
+        default="",
+        metavar="TRACE_JSON",
+        help="also export the traced pass as a Chrome trace-event JSON at "
+        "PATH (turns on the timeline tier for that pass only; view at "
+        "https://ui.perfetto.dev)",
+    )
     return parser
 
 
@@ -799,16 +824,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Print the backend speedup table; write ``BENCH_engine.json``."""
     args = build_parser().parse_args(argv)
     metrics_path = obs_metrics.resolve_metrics_path(args.metrics or None)
+    trace_path = args.trace_out or None
     env = os.environ.get(JOBS_ENV_VAR, "").strip()
     jobs = parse_jobs(env, source=JOBS_ENV_VAR) if env else BENCH_JOBS
     previous_jobs = set_default_jobs(jobs)
     try:
-        return _main(jobs, metrics_path)
+        return _main(jobs, metrics_path, trace_path)
     finally:
         set_default_jobs(previous_jobs)
 
 
-def _main(jobs: int, metrics_path: Optional[str] = None) -> int:
+def _main(
+    jobs: int,
+    metrics_path: Optional[str] = None,
+    trace_path: Optional[str] = None,
+) -> int:
     names: List[str] = bench_names()
     rows: List[dict] = []
     for name in names:
@@ -890,7 +920,7 @@ def _main(jobs: int, metrics_path: Optional[str] = None) -> int:
     fault_parallel = _fault_parallel_sweep()
     atpg = _atpg_sweep(jobs)
     cluster = _cluster_sweep(jobs, largest_row)
-    obs_section = _obs_sweep(largest_row, metrics_path)
+    obs_section = _obs_sweep(largest_row, metrics_path, trace_path)
     _write_json(
         rows, jobs, largest, fault_modes, fault_parallel, atpg, cluster, obs_section
     )

@@ -250,6 +250,8 @@ def simulate_base_task(
         # tracing was enabled programmatically (REPRO_TRACE propagates via
         # the environment; obs.enable() does not).
         base["obs"] = True
+        if obs.timeline_enabled():
+            base["timeline"] = True
     return base
 
 
@@ -283,6 +285,8 @@ def podem_base_task(
     }
     if obs.enabled():
         base["obs"] = True
+        if obs.timeline_enabled():
+            base["timeline"] = True
     return base
 
 
@@ -305,6 +309,8 @@ def cell_task(cell, seed: int, backend_name: str) -> Dict[str, object]:
     }
     if obs.enabled():
         task["obs"] = True
+        if obs.timeline_enabled():
+            task["timeline"] = True
     return task
 
 
@@ -429,7 +435,9 @@ def execute_task(task: Dict[str, object]):
         raise ValueError(f"unknown task kind {task.get('kind')!r}") from None
     if not (task.get("obs") or obs.enabled()):
         return runner(task)
-    capture = obs.task_capture()
+    # The submitting parent's timeline request rides the task dict (like the
+    # "obs" flag); otherwise the capture inherits the local recorder's tier.
+    capture = obs.task_capture(timeline=True if task.get("timeline") else None)
     with capture:
         payload = runner(task)
     return {OBS_PAYLOAD_KEY: capture.snapshot(), "payload": payload}

@@ -585,8 +585,11 @@ class QueueTransport(Transport):
         if obs.enabled():
             # Propagate programmatic obs.enable() to freshly spawned queue
             # workers; REPRO_TRACE=1 in the environment passes through on
-            # its own.
+            # its own.  Same for the timeline tier, so worker-side span
+            # intervals ride back even when only the parent turned it on.
             env[obs.TRACE_ENV_VAR] = "1"
+            if obs.timeline_enabled():
+                env[obs.TIMELINE_ENV_VAR] = "1"
         proc = subprocess.Popen(
             [
                 sys.executable,

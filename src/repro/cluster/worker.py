@@ -113,6 +113,10 @@ def serve(
         # spool, appended on every lifecycle decision.  Survives the worker
         # (and its SIGKILL), unlike the in-memory recorder.
         obs.set_event_file(os.path.join(spool_events_dir(spool), f"{worker_id}.jsonl"))
+        # Timeline attribution: per-task capture recorders inherit this
+        # label, so intervals shipped back to the parent name the worker
+        # (not just the pid) in trace tracks and run reports.
+        obs.set_worker(worker_id)
     obs.event("worker_joined", worker=worker_id, spool=spool, pid=os.getpid())
     touch(liveness)  # register; the beat thread only refreshes from here on
     beats = _Heartbeat(heartbeat)

@@ -32,6 +32,7 @@ __all__ = [
     "EnvVar",
     "REGISTRY",
     "declare",
+    "env_snapshot",
     "render_table",
     "parse_jobs",
     "parse_lease_timeout",
@@ -277,6 +278,21 @@ def is_declared(name: str) -> bool:
     return name in REGISTRY
 
 
+def env_snapshot() -> Dict[str, str]:
+    """Raw values of every *set* ``REPRO_*`` variable, in declaration order.
+
+    The metrics artifact embeds this (``meta.env``) so every metrics file is
+    a self-describing provenance record: which knobs shaped the run is part
+    of the run, not something to reconstruct from shell history.
+    """
+    snapshot: Dict[str, str] = {}
+    for name, var in REGISTRY.items():
+        raw = var.raw()
+        if raw is not None:
+            snapshot[name] = raw
+    return snapshot
+
+
 # -- declarations ------------------------------------------------------------
 BACKEND = declare(
     "REPRO_BACKEND",
@@ -393,6 +409,17 @@ TRACE = declare(
     parse_flag,
     "Enable the telemetry recorder (counters, spans, event log) at import "
     "time; off by default with a no-op recorder.",
+    default=False,
+    default_doc="`0`",
+)
+
+TIMELINE = declare(
+    "REPRO_TIMELINE",
+    parse_flag,
+    "Record begin/end span *intervals* (the timeline tier consumed by "
+    "`python -m repro.obs export-trace` / `report`) in addition to the "
+    "aggregate span table; implies nothing on its own — tracing must also "
+    "be on (`REPRO_TRACE=1` / `--metrics` / `--trace-out`).",
     default=False,
     default_doc="`0`",
 )

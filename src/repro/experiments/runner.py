@@ -74,6 +74,7 @@ from repro.experiments.report import TableResult, render_table
 from repro.experiments.workloads import default_workload_names
 from repro.obs import metrics as obs_metrics
 from repro.obs import recorder as obs
+from repro.obs import timeline as obs_timeline
 
 ARTIFACTS = ["1", "fig1", "2", "3", "4", "5", "6", "fig2"]
 
@@ -501,6 +502,15 @@ def build_parser() -> argparse.ArgumentParser:
         "timings, cluster event log) to this path after the run; implies "
         "tracing for the run (default: REPRO_METRICS if set)",
     )
+    parser.add_argument(
+        "--trace-out",
+        default="",
+        metavar="TRACE_JSON",
+        help="write a Chrome trace-event JSON (one track per worker; view "
+        "at https://ui.perfetto.dev) to this path after the run; implies "
+        "tracing plus the timeline tier (begin/end span intervals) for "
+        "the run",
+    )
     return parser
 
 
@@ -537,10 +547,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         else None
     )
     metrics_path = obs_metrics.resolve_metrics_path(args.metrics or None)
+    trace_path = args.trace_out or None
     enabled_here = False
-    if metrics_path and not obs.enabled():
-        obs.enable()  # --metrics implies tracing for this run
+    if (metrics_path or trace_path) and not obs.enabled():
+        obs.enable()  # --metrics/--trace-out imply tracing for this run
         enabled_here = True
+    timeline_here = False
+    if trace_path and not obs.timeline_enabled():
+        obs.enable_timeline()  # --trace-out implies the timeline tier too
+        timeline_here = True
 
     lines: List[str] = []
     lines.append("DP-fill reproduction - experiment report")
@@ -576,19 +591,29 @@ def main(argv: Optional[List[str]] = None) -> int:
     # Timing is environment-dependent, so it stays out of the report body:
     # the report (stdout above and --out) is byte-identical across --jobs.
     print(f"total runtime: {elapsed:.1f} s ({jobs} job{'s' if jobs != 1 else ''})")
-    if metrics_path:
-        obs_metrics.write_metrics(
-            metrics_path,
-            meta={
-                "tool": "dpfill-experiments",
-                "artifacts": artifacts,
-                "benchmarks": names or default_workload_names(),
-                "jobs": jobs,
-                "seed": args.seed,
-                "elapsed_s": round(elapsed, 3),
-            },
-        )
-        print(f"metrics written: {metrics_path}")
+    if metrics_path or trace_path:
+        meta = {
+            "tool": "dpfill-experiments",
+            "artifacts": artifacts,
+            "benchmarks": names or default_workload_names(),
+            "jobs": jobs,
+            "seed": args.seed,
+            "elapsed_s": round(elapsed, 3),
+        }
+        payload = None
+        if metrics_path:
+            payload = obs_metrics.write_metrics(metrics_path, meta=meta)
+            print(f"metrics written: {metrics_path}")
+        if trace_path:
+            if payload is None:
+                payload = obs_metrics.metrics_payload(meta=meta)
+            obs_timeline.write_trace(trace_path, payload)
+            print(
+                f"trace written: {trace_path} "
+                "(load it at https://ui.perfetto.dev or chrome://tracing)"
+            )
+        if timeline_here:
+            obs.enable_timeline(False)
         if enabled_here:
             obs.disable()  # restore the process-wide default, like the flags
     return 0

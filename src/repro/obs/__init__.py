@@ -17,8 +17,10 @@ from repro.obs.metrics import (
 )
 from repro.obs.recorder import (
     MAX_EVENTS,
+    MAX_INTERVALS,
     NullRecorder,
     Recorder,
+    TIMELINE_ENV_VAR,
     TRACE_ENV_VAR,
     absorb_task,
     active,
@@ -26,21 +28,26 @@ from repro.obs.recorder import (
     counter,
     disable,
     enable,
+    enable_timeline,
     enabled,
     event,
     reset,
     set_event_file,
+    set_worker,
     snapshot,
     span,
     task_capture,
+    timeline_enabled,
 )
 
 __all__ = [
     "MAX_EVENTS",
+    "MAX_INTERVALS",
     "METRICS_ENV_VAR",
     "METRICS_SCHEMA",
     "NullRecorder",
     "Recorder",
+    "TIMELINE_ENV_VAR",
     "TRACE_ENV_VAR",
     "absorb_task",
     "active",
@@ -48,6 +55,7 @@ __all__ = [
     "counter",
     "disable",
     "enable",
+    "enable_timeline",
     "enabled",
     "event",
     "maybe_write_metrics",
@@ -55,8 +63,10 @@ __all__ = [
     "reset",
     "resolve_metrics_path",
     "set_event_file",
+    "set_worker",
     "snapshot",
     "span",
     "task_capture",
+    "timeline_enabled",
     "write_metrics",
 ]

@@ -1,0 +1,198 @@
+"""``python -m repro.obs`` — timeline tooling over metrics artifacts.
+
+Subcommands:
+
+* ``export-trace METRICS.json -o trace.json`` — Chrome trace-event JSON
+  from a schema-2 metrics artifact; open at https://ui.perfetto.dev (one
+  track per worker, task ids in the event args).
+* ``report METRICS.json [--spool DIR]`` — human run report: per-kernel
+  span table, per-worker utilization/idle gaps, straggler and
+  critical-path summary, retry/quarantine/degradation recap.  ``--spool``
+  merges the durable per-worker event logs so retried tasks are attributed
+  to the worker that last claimed them (even one that was SIGKILLed).
+* ``top --spool DIR`` — live per-worker claimed/done/failed counts and
+  rates tailed from the spool's event logs.
+* ``history append|compare`` — fold ``BENCH_engine.json`` into the
+  ``BENCH_history.jsonl`` ledger / flag per-profile speedup regressions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional
+
+from repro.obs import history as obs_history
+from repro.obs import recorder
+from repro.obs import report as obs_report
+from repro.obs import timeline
+from repro.obs import top as obs_top
+
+
+def _load_payload(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path}: not a metrics JSON object")
+    return payload
+
+
+def _spool_events(spool: str) -> List[dict]:
+    events: List[dict] = []
+    events_dir = os.path.join(spool, obs_top.EVENTS_SUBDIR)
+    if not os.path.isdir(events_dir):
+        return events
+    for name in sorted(os.listdir(events_dir)):
+        if name.endswith(".jsonl"):
+            events.extend(recorder.read_events(os.path.join(events_dir, name)))
+    return events
+
+
+def _cmd_export_trace(args: argparse.Namespace) -> int:
+    payload = _load_payload(args.metrics)
+    if not payload.get("intervals"):
+        print(
+            f"export-trace: {args.metrics} has no timeline intervals "
+            "(run with REPRO_TIMELINE=1 or --trace-out); exporting events only",
+            file=sys.stderr,
+        )
+    out = timeline.write_trace(args.out, payload)
+    n = len(payload.get("intervals") or [])
+    print(f"wrote {out} ({n} interval{'s' if n != 1 else ''}); "
+          "open at https://ui.perfetto.dev")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    extra = None
+    if os.path.isdir(args.metrics):
+        # A run/spool directory: report over its durable event logs alone.
+        payload: dict = {"schema": None, "enabled": None, "events": []}
+        extra = _spool_events(args.metrics)
+        if not extra:
+            print(f"report: no event logs under {args.metrics}", file=sys.stderr)
+            return 1
+    else:
+        payload = _load_payload(args.metrics)
+        if args.spool:
+            extra = _spool_events(args.spool)
+    print(obs_report.render_report(payload, extra_events=extra))
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    return obs_top.run_top(
+        args.spool, interval=args.interval, iterations=args.iterations
+    )
+
+
+def _cmd_history(args: argparse.Namespace) -> int:
+    if args.action == "append":
+        record, appended = obs_history.append(args.bench, args.history)
+        state = "appended" if appended else "already recorded (same sha+timestamp)"
+        print(
+            f"{args.history}: {state} — {record['git_sha'][:12]} @ "
+            f"{record['timestamp']}"
+        )
+        return 0
+    # compare
+    entries = obs_history.load_history(args.history)
+    text, regressions = obs_history.render_compare(
+        entries, threshold=args.threshold
+    )
+    print(text)
+    if regressions and args.strict:
+        return 1
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Timeline export, run reports and bench history.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    export = sub.add_parser(
+        "export-trace",
+        help="write Chrome trace-event JSON from a metrics artifact",
+    )
+    export.add_argument("metrics", help="metrics JSON file (schema 2)")
+    export.add_argument(
+        "-o", "--out", default="trace.json", help="output path (default trace.json)"
+    )
+    export.set_defaults(func=_cmd_export_trace)
+
+    report = sub.add_parser(
+        "report", help="print a human run report from a metrics file or run dir"
+    )
+    report.add_argument(
+        "metrics", help="metrics JSON file, or a spool/run directory of event logs"
+    )
+    report.add_argument(
+        "--spool",
+        default="",
+        help="also merge per-worker event logs from this spool directory",
+    )
+    report.set_defaults(func=_cmd_report)
+
+    top = sub.add_parser(
+        "top", help="live per-worker counts/rates tailed from a queue spool"
+    )
+    top.add_argument("--spool", required=True, help="spool directory to tail")
+    top.add_argument(
+        "--interval", type=float, default=2.0, help="refresh seconds (default 2)"
+    )
+    top.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        help="stop after N refreshes (default: run until interrupted)",
+    )
+    top.set_defaults(func=_cmd_top)
+
+    hist = sub.add_parser(
+        "history", help="bench-history ledger: append / compare"
+    )
+    hist.add_argument("action", choices=("append", "compare"))
+    hist.add_argument(
+        "--bench",
+        default="BENCH_engine.json",
+        help="bench artifact to fold on append (default BENCH_engine.json)",
+    )
+    hist.add_argument(
+        "--history",
+        default=obs_history.HISTORY_FILE,
+        help=f"ledger path (default {obs_history.HISTORY_FILE})",
+    )
+    hist.add_argument(
+        "--threshold",
+        type=float,
+        default=obs_history.DEFAULT_THRESHOLD,
+        help="regression ratio for compare (flag when latest < threshold x "
+        f"previous; default {obs_history.DEFAULT_THRESHOLD})",
+    )
+    hist.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 when compare finds regressions (default: report only)",
+    )
+    hist.set_defaults(func=_cmd_history)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except (OSError, ValueError) as err:
+        print(f"python -m repro.obs: error: {err}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

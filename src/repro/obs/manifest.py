@@ -55,6 +55,11 @@ COUNTERS: Dict[str, str] = {
     "runner.cells_replayed": "experiment cells served from checkpoint.",
     "runner.cells_executed": "experiment cells computed fresh.",
     "obs.events_dropped": "telemetry events discarded at the ring-buffer cap.",
+    "obs.intervals_dropped": (
+        "timeline span intervals discarded at the ring-buffer cap "
+        "(MAX_INTERVALS); nonzero flips the metrics artifact's `truncated` "
+        "flag."
+    ),
 }
 
 #: Dynamic counter families: any name starting with one of these prefixes is

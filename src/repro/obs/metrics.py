@@ -5,11 +5,12 @@ file — the roofline input the ROADMAP asks for.  The path comes from an
 explicit ``--metrics PATH`` flag or the ``REPRO_METRICS`` environment
 variable (:func:`resolve_metrics_path`).
 
-Schema (``"schema": 1``)::
+Schema (``"schema": 2``)::
 
     {
-      "schema": 1,
+      "schema": 2,
       "enabled": true,              # was tracing on when written?
+      "truncated": false,           # did a ring buffer drop events/intervals?
       "counters": {"fault_sim.cone_evaluations": 123, ...},
       "spans": [                    # sorted by path
         {"path": "fault_sim/b12/words/grade",
@@ -17,8 +18,22 @@ Schema (``"schema": 1``)::
         ...
       ],
       "events": [{"ts": ..., "kind": "lease_expired", ...}, ...],
-      "meta": {...}                 # caller-provided context (optional)
+      "intervals": [                # timeline tier (REPRO_TIMELINE/--trace-out)
+        {"path": ..., "start_s": ..., "dur_s": ...,
+         "pid": ..., "worker": ..., "task": ...},
+        ...
+      ],
+      "clock": {"wall_anchor_s": ..., "pid": ..., "worker": ...},
+      "meta": {                     # caller-provided context, plus:
+        "env": {"REPRO_TRACE": "1", ...}   # every *set* REPRO_* knob
+      }
     }
+
+Schema history: 1 lacked ``truncated``/``intervals``/``clock`` and the
+``meta.env`` provenance snapshot.  The ``env`` snapshot makes a metrics
+file self-describing — which knobs shaped the run rides with the run — and
+``truncated`` surfaces the ``obs.events_dropped`` / ``obs.intervals_dropped``
+ring-buffer counters so a capped artifact cannot masquerade as complete.
 """
 
 from __future__ import annotations
@@ -31,7 +46,7 @@ from repro import envvars
 from repro.obs import recorder
 
 METRICS_ENV_VAR = envvars.METRICS.name
-METRICS_SCHEMA = 1
+METRICS_SCHEMA = 2
 
 
 def resolve_metrics_path(explicit: Optional[str] = None) -> Optional[str]:
@@ -47,15 +62,23 @@ def metrics_payload(meta: Optional[Mapping[str, Any]] = None) -> Dict[str, Any]:
         {"path": path, "count": row[0], "total_s": row[1], "max_s": row[2]}
         for path, row in sorted(snap["spans"].items())
     ]
+    counters = dict(sorted(snap["counters"].items()))
+    meta_out: Dict[str, Any] = dict(meta) if meta else {}
+    meta_out["env"] = envvars.env_snapshot()
     payload: Dict[str, Any] = {
         "schema": METRICS_SCHEMA,
         "enabled": recorder.enabled(),
-        "counters": dict(sorted(snap["counters"].items())),
+        "truncated": bool(
+            counters.get("obs.events_dropped")
+            or counters.get("obs.intervals_dropped")
+        ),
+        "counters": counters,
         "spans": spans,
         "events": snap["events"],
+        "intervals": snap.get("intervals", []),
+        "clock": snap.get("clock", {}),
+        "meta": meta_out,
     }
-    if meta:
-        payload["meta"] = dict(meta)
     return payload
 
 

@@ -30,22 +30,44 @@ the snapshot rides back in the result payload and the parent merges it with
 :func:`absorb_task`.  Absorption dedupes by task id, so duplicate deliveries
 (retried queue tasks, stale-lease re-executions, speculative work) can never
 double-count — exactly mirroring the idempotent result merge.
+
+**Clock anchoring.**  Each recorder pairs one ``time.time()`` wall anchor
+with a ``time.perf_counter()`` reading at construction.  Span durations are
+still measured on the monotonic clock, but every published timestamp —
+event ``ts`` fields and timeline interval starts alike — is the anchor plus
+a monotonic offset, so one recorder's events and intervals share a single
+axis and intervals captured by queue workers on other hosts merge onto the
+parent's wall axis (to NTP accuracy).
+
+**Timeline tier.**  With the timeline on (``REPRO_TIMELINE=1`` or
+:func:`enable_timeline`; requires tracing), every closed span additionally
+appends one *interval* — ``{path, start_s, dur_s, pid, worker}`` — to a
+ring-buffer capped list (:data:`MAX_INTERVALS`, overflow counted in
+``obs.intervals_dropped``).  Intervals ride :func:`task_capture` snapshots
+back to the parent exactly like counters, get stamped with the absorbing
+task id, and feed ``python -m repro.obs export-trace`` / ``report``.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
-from typing import Any, Dict, List, Mapping, Optional
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro import envvars
 
 TRACE_ENV_VAR = envvars.TRACE.name
+TIMELINE_ENV_VAR = envvars.TIMELINE.name
 
 #: In-memory event cap; beyond it events are dropped (and counted in the
 #: ``obs.events_dropped`` counter) so a chatty run cannot grow unbounded.
 MAX_EVENTS = 10_000
+
+#: In-memory timeline cap; beyond it span intervals are dropped (and counted
+#: in ``obs.intervals_dropped``) — same bounded-memory contract as events.
+MAX_INTERVALS = 20_000
 
 class _NullSpan:
     """Reusable no-op context manager (a single shared instance)."""
@@ -66,6 +88,7 @@ class NullRecorder:
     """Recorder with every operation stubbed out; the disabled path."""
 
     enabled = False
+    timeline = False
 
     __slots__ = ()
 
@@ -85,12 +108,18 @@ class NullRecorder:
         return False
 
     def snapshot(self) -> Dict[str, Any]:
-        return {"counters": {}, "spans": {}, "events": []}
+        return {"counters": {}, "spans": {}, "events": [], "intervals": []}
 
     def reset(self) -> None:
         return None
 
     def set_event_file(self, path: Optional[str]) -> None:
+        return None
+
+    def set_worker(self, label: Optional[str]) -> None:
+        return None
+
+    def enable_timeline(self, on: bool = True) -> None:
         return None
 
 
@@ -109,7 +138,7 @@ class _Span:
 
     def __exit__(self, *exc: object) -> None:
         elapsed = time.perf_counter() - self._start
-        self._recorder._record_span(self._path, elapsed)
+        self._recorder._record_span(self._path, elapsed, self._start)
 
 
 class Recorder:
@@ -117,7 +146,11 @@ class Recorder:
 
     enabled = True
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        timeline: Optional[bool] = None,
+        worker: Optional[str] = None,
+    ) -> None:
         self._lock = threading.Lock()
         self._counters: Dict[str, int] = {}
         # path -> [count, total_s, max_s]
@@ -125,6 +158,42 @@ class Recorder:
         self._events: List[Dict[str, Any]] = []
         self._seen_tasks: set = set()
         self._event_file: Optional[str] = None
+        # One wall reading paired with one monotonic reading: the per-process
+        # clock anchor.  Everything published (event ts, interval starts) is
+        # anchor + perf_counter offset, so spans and events share one axis
+        # and cross-host intervals merge onto the parent's wall clock.
+        self._anchor_wall = time.time()
+        self._anchor_perf = time.perf_counter()
+        self._pid = os.getpid()
+        self._worker = worker
+        #: Timeline tier on/off; defaults from ``REPRO_TIMELINE``.
+        self.timeline = (
+            bool(envvars.TIMELINE.read()) if timeline is None else bool(timeline)
+        )
+        # Own spans as (path, start_perf, dur_s); converted to wall dicts at
+        # snapshot time so the hot record path stays a tuple append.
+        self._intervals: List[Tuple[str, float, float]] = []
+        # Absorbed task intervals, already wall-anchored dicts.
+        self._foreign_intervals: List[Dict[str, Any]] = []
+
+    # -- clock -------------------------------------------------------------
+    def now(self) -> float:
+        """Anchored wall time: the wall anchor plus a monotonic offset."""
+        return self._anchor_wall + (time.perf_counter() - self._anchor_perf)
+
+    def wall_of(self, perf: float) -> float:
+        """Map a ``perf_counter()`` reading onto the anchored wall axis."""
+        return self._anchor_wall + (perf - self._anchor_perf)
+
+    def set_worker(self, label: Optional[str]) -> None:
+        """Attribute subsequent intervals to ``label`` (a worker id)."""
+        with self._lock:
+            self._worker = label
+
+    def enable_timeline(self, on: bool = True) -> None:
+        """Switch the timeline tier on/off for this recorder."""
+        with self._lock:
+            self.timeline = bool(on)
 
     # -- counters ---------------------------------------------------------
     def counter(self, name: str, n: int = 1) -> None:
@@ -144,7 +213,9 @@ class Recorder:
     def span(self, path: str) -> _Span:
         return _Span(self, path)
 
-    def _record_span(self, path: str, elapsed: float) -> None:
+    def _record_span(
+        self, path: str, elapsed: float, start: Optional[float] = None
+    ) -> None:
         with self._lock:
             row = self._spans.get(path)
             if row is None:
@@ -154,10 +225,20 @@ class Recorder:
                 row[1] += elapsed
                 if elapsed > row[2]:
                     row[2] = elapsed
+            if self.timeline and start is not None:
+                if (
+                    len(self._intervals) + len(self._foreign_intervals)
+                    < MAX_INTERVALS
+                ):
+                    self._intervals.append((path, start, elapsed))
+                else:
+                    self._counters["obs.intervals_dropped"] = (
+                        self._counters.get("obs.intervals_dropped", 0) + 1
+                    )
 
     # -- events -----------------------------------------------------------
     def event(self, kind: str, **fields: Any) -> None:
-        record = {"ts": time.time(), "kind": kind}
+        record = {"ts": self.now(), "kind": kind}
         record.update(fields)
         with self._lock:
             if len(self._events) < MAX_EVENTS:
@@ -185,10 +266,27 @@ class Recorder:
     # -- snapshots / merging ----------------------------------------------
     def snapshot(self) -> Dict[str, Any]:
         with self._lock:
+            intervals = [
+                {
+                    "path": path,
+                    "start_s": self._anchor_wall + (start - self._anchor_perf),
+                    "dur_s": dur,
+                    "pid": self._pid,
+                    "worker": self._worker,
+                }
+                for path, start, dur in self._intervals
+            ]
+            intervals.extend(dict(record) for record in self._foreign_intervals)
             return {
                 "counters": dict(self._counters),
                 "spans": {path: list(row) for path, row in self._spans.items()},
                 "events": [dict(record) for record in self._events],
+                "intervals": intervals,
+                "clock": {
+                    "wall_anchor_s": self._anchor_wall,
+                    "pid": self._pid,
+                    "worker": self._worker,
+                },
             }
 
     def absorb_task(self, task_id: object, snapshot: Optional[Mapping[str, Any]]) -> bool:
@@ -231,6 +329,23 @@ class Recorder:
                     self._counters["obs.events_dropped"] = (
                         self._counters.get("obs.events_dropped", 0) + dropped
                     )
+        intervals = snapshot.get("intervals")
+        if intervals:
+            with self._lock:
+                room = MAX_INTERVALS - (
+                    len(self._intervals) + len(self._foreign_intervals)
+                )
+                for record in intervals[: max(room, 0)]:
+                    merged = dict(record)
+                    # Stamp task attribution at absorb time: all intervals in
+                    # one snapshot belong to the task whose payload carried it.
+                    merged.setdefault("task", task_id)
+                    self._foreign_intervals.append(merged)
+                dropped = len(intervals) - max(room, 0)
+                if dropped > 0:
+                    self._counters["obs.intervals_dropped"] = (
+                        self._counters.get("obs.intervals_dropped", 0) + dropped
+                    )
         return True
 
     def reset(self) -> None:
@@ -239,6 +354,8 @@ class Recorder:
             self._spans.clear()
             del self._events[:]
             self._seen_tasks.clear()
+            del self._intervals[:]
+            del self._foreign_intervals[:]
 
 
 _NULL = NullRecorder()
@@ -308,6 +425,22 @@ def set_event_file(path: Optional[str]) -> None:
     _active.set_event_file(path)
 
 
+def set_worker(label: Optional[str]) -> None:
+    """Attribute the active recorder's intervals to a worker id."""
+    _active.set_worker(label)
+
+
+def enable_timeline(on: bool = True) -> None:
+    """Switch the active recorder's timeline tier on/off (no-op when
+    tracing is off — enable tracing first)."""
+    _active.enable_timeline(on)
+
+
+def timeline_enabled() -> bool:
+    """Whether the active recorder records span intervals."""
+    return _active.enabled and _active.timeline
+
+
 def events_mentioning(task_id: object) -> List[Dict[str, Any]]:
     """Recorded events whose ``task_id`` field matches (empty when disabled).
 
@@ -355,15 +488,27 @@ class task_capture:
     ``with task_capture() as cap:`` swaps in a fresh :class:`Recorder` for
     the duration of the block and restores the previous recorder after;
     ``cap.snapshot()`` then yields the task's own counters/spans/events,
-    ready to ship back in a result payload.  Captures nest (LIFO)."""
+    ready to ship back in a result payload.  Captures nest (LIFO).
 
-    def __init__(self) -> None:
-        self._recorder = Recorder()
+    The capture recorder inherits worker attribution and (unless ``timeline``
+    forces it) the timeline tier from the recorder it displaces, so a queue
+    worker's per-task snapshots stay attributed to the worker id its serve
+    loop registered with :func:`set_worker`."""
+
+    def __init__(self, timeline: Optional[bool] = None) -> None:
+        self._recorder = Recorder(timeline=timeline)
+        self._force_timeline = timeline
 
     def __enter__(self) -> Recorder:
         global _active
         with _state_lock:
-            _capture_stack.append(_active)
+            prev = _active
+            if prev.enabled:
+                if self._recorder._worker is None:
+                    self._recorder._worker = prev._worker
+                if self._force_timeline is None and prev.timeline:
+                    self._recorder.timeline = True
+            _capture_stack.append(prev)
             _active = self._recorder
         return self._recorder
 

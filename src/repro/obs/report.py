@@ -1,0 +1,243 @@
+"""Human run reports from a metrics payload (``python -m repro.obs report``).
+
+Answers the questions a slow distributed run raises: where did wall-clock
+go per kernel, which worker was the straggler, how long did the parent sit
+idle, and what did the retry/quarantine/degradation machinery actually do.
+Input is a schema-2 metrics artifact (``--metrics`` / ``REPRO_METRICS``)
+and, optionally, the durable per-worker event logs from a queue spool —
+the spool logs carry worker-side ``task_claimed`` records that let the
+report name *which worker* a retried task last died on, even when that
+worker was SIGKILLed before it could report anything else.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.obs import timeline
+
+#: Event kinds recapped in detail (the reliability machinery's decisions).
+RECAP_KINDS = (
+    "lease_expired",
+    "task_retried",
+    "task_retry_scheduled",
+    "task_quarantined",
+    "task_recovered_inline",
+    "duplicate_result_dropped",
+    "result_corrupt",
+    "chaos_injected",
+    "transport_degraded",
+    "transport_failed",
+    "transport_lost",
+    "cell_inline_fallback",
+)
+
+#: Cap per-kind detail lines so a chaotic run stays readable.
+MAX_DETAIL_LINES = 8
+
+
+def _span_rows(payload: Mapping[str, Any]) -> List[Dict[str, Any]]:
+    """Normalise spans: metrics artifacts carry a list, snapshots a dict."""
+    spans = payload.get("spans") or []
+    if isinstance(spans, Mapping):
+        return [
+            {"path": path, "count": row[0], "total_s": row[1], "max_s": row[2]}
+            for path, row in sorted(spans.items())
+        ]
+    return [dict(row) for row in spans]
+
+
+def _fmt_s(seconds: float) -> str:
+    if seconds >= 100.0:
+        return f"{seconds:.0f}s"
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    return f"{seconds * 1000.0:.1f}ms"
+
+
+def _task_claimants(events: Sequence[Mapping[str, Any]]) -> Dict[Any, List[str]]:
+    """task id -> workers that claimed it, in claim order (deduped)."""
+    claimants: Dict[Any, List[str]] = {}
+    for record in events:
+        if record.get("kind") != "task_claimed":
+            continue
+        task_id = record.get("task_id")
+        worker = record.get("worker")
+        if task_id is None or worker is None:
+            continue
+        seen = claimants.setdefault(task_id, [])
+        if worker not in seen:
+            seen.append(worker)
+    return claimants
+
+
+def _describe(record: Mapping[str, Any], claimants: Mapping[Any, List[str]]) -> str:
+    parts: List[str] = []
+    task_id = record.get("task_id")
+    if task_id is not None:
+        parts.append(f"task {task_id}")
+        workers = claimants.get(task_id)
+        if workers:
+            parts.append(f"last claimed by {workers[-1]}")
+    for field in ("worker", "fault", "attempt", "transport", "to", "reason", "detail"):
+        value = record.get(field)
+        if value is not None:
+            parts.append(f"{field}={value}")
+    return ", ".join(parts) if parts else "(no detail)"
+
+
+def _timeline_section(payload: Mapping[str, Any], lines: List[str]) -> None:
+    intervals = payload.get("intervals") or []
+    if not intervals:
+        lines.append(
+            "timeline: no intervals recorded (set REPRO_TIMELINE=1 or pass "
+            "--trace-out to capture per-worker tracks)"
+        )
+        return
+    bounds = timeline.span_bounds(intervals)
+    assert bounds is not None
+    t_min, t_max = bounds
+    makespan = max(t_max - t_min, 1e-12)
+    serial = sum(float(r.get("dur_s", 0.0)) for r in intervals)
+    union_busy, _ = timeline.merged_busy(intervals)
+    grouped = timeline.tracks(intervals)
+
+    clock = payload.get("clock") or {}
+    parent_key = (clock.get("pid"), clock.get("worker"))
+
+    lines.append("timeline")
+    lines.append(
+        f"  makespan {_fmt_s(makespan)}; sum of span times {_fmt_s(serial)} "
+        f"(critical-path parallelism {serial / makespan:.2f}x); "
+        f"tracks cover {100.0 * min(union_busy / makespan, 1.0):.1f}% of makespan"
+    )
+    header = (
+        f"  {'track':<24} {'spans':>5} {'busy':>9} {'util':>6} "
+        f"{'first..last':>13} {'largest idle gap':>17}"
+    )
+    lines.append(header)
+    lines.append("  " + "-" * (len(header) - 2))
+    last_end_by_track = {}
+    for key, rows in grouped.items():
+        label = timeline.track_label(*key)
+        busy, gaps = timeline.merged_busy(rows)
+        start = min(float(r["start_s"]) for r in rows)
+        end = max(float(r["start_s"]) + float(r["dur_s"]) for r in rows)
+        last_end_by_track[key] = end
+        # Boundary idle counts too: a worker that joined late or went quiet
+        # early was idle relative to the run, not just between its own spans.
+        all_gaps = [(t_min, start)] + list(gaps) + [(end, t_max)]
+        widest = max(all_gaps, key=lambda g: g[1] - g[0])
+        gap_text = (
+            f"{_fmt_s(widest[1] - widest[0])} "
+            f"@+{_fmt_s(max(widest[0] - t_min, 0.0))}"
+            if widest[1] - widest[0] > 1e-9
+            else "none"
+        )
+        marker = "  <- parent" if key == parent_key else ""
+        lines.append(
+            f"  {label:<24} {len(rows):>5} {_fmt_s(busy):>9} "
+            f"{100.0 * busy / makespan:>5.1f}% "
+            f"{_fmt_s(start - t_min):>5}..{_fmt_s(end - t_min):<6} "
+            f"{gap_text:>17}{marker}"
+        )
+    straggler_key = max(last_end_by_track, key=lambda k: last_end_by_track[k])
+    lines.append(
+        f"  straggler: {timeline.track_label(*straggler_key)} "
+        f"(finished last, at +{_fmt_s(last_end_by_track[straggler_key] - t_min)})"
+    )
+    if parent_key in grouped:
+        busy, gaps = timeline.merged_busy(grouped[parent_key])
+        start = min(float(r["start_s"]) for r in grouped[parent_key])
+        end = max(
+            float(r["start_s"]) + float(r["dur_s"]) for r in grouped[parent_key]
+        )
+        all_gaps = [(t_min, start)] + list(gaps) + [(end, t_max)]
+        widest = max(all_gaps, key=lambda g: g[1] - g[0])
+        if widest[1] - widest[0] > 1e-9:
+            lines.append(
+                f"  parent idle gap: {_fmt_s(widest[1] - widest[0])} "
+                f"starting at +{_fmt_s(max(widest[0] - t_min, 0.0))} "
+                "(parent waiting on workers)"
+            )
+
+
+def _events_section(
+    events: Sequence[Mapping[str, Any]], lines: List[str]
+) -> None:
+    if not events:
+        lines.append("events: none recorded")
+        return
+    counts: Dict[str, int] = {}
+    for record in events:
+        kind = str(record.get("kind", "?"))
+        counts[kind] = counts.get(kind, 0) + 1
+    lines.append(
+        "events: "
+        + ", ".join(f"{kind} x{n}" for kind, n in sorted(counts.items()))
+    )
+    claimants = _task_claimants(events)
+    for kind in RECAP_KINDS:
+        matching = [r for r in events if r.get("kind") == kind]
+        if not matching:
+            continue
+        lines.append(f"  {kind} ({len(matching)}):")
+        for record in matching[:MAX_DETAIL_LINES]:
+            lines.append(f"    - {_describe(record, claimants)}")
+        if len(matching) > MAX_DETAIL_LINES:
+            lines.append(f"    ... and {len(matching) - MAX_DETAIL_LINES} more")
+
+
+def render_report(
+    payload: Mapping[str, Any],
+    extra_events: Optional[Iterable[Mapping[str, Any]]] = None,
+) -> str:
+    """Render the run report for one metrics payload.
+
+    Args:
+        payload: a metrics artifact dict (schema 1 or 2) or recorder
+            snapshot.
+        extra_events: additional event records to merge into the recap —
+            typically the durable per-worker JSONL logs read from a queue
+            spool, which carry claims the parent never saw.
+    """
+    lines: List[str] = ["repro.obs run report", "=" * 21]
+    meta = payload.get("meta") or {}
+    for key in ("tool", "circuit", "artifacts", "benchmarks", "jobs", "seed", "elapsed_s"):
+        if key in meta:
+            lines.append(f"{key}: {meta[key]}")
+    lines.append(
+        f"schema: {payload.get('schema', '?')}; "
+        f"enabled: {payload.get('enabled', '?')}; "
+        f"truncated: {payload.get('truncated', False)}"
+    )
+    env = meta.get("env") or {}
+    if env:
+        lines.append(
+            "env: " + " ".join(f"{k}={v}" for k, v in sorted(env.items()))
+        )
+    lines.append("")
+
+    spans = _span_rows(payload)
+    if spans:
+        lines.append("per-kernel spans")
+        header = f"  {'span':<44} {'count':>6} {'total':>9} {'max':>9}"
+        lines.append(header)
+        lines.append("  " + "-" * (len(header) - 2))
+        for row in sorted(spans, key=lambda r: -float(r.get("total_s", 0.0))):
+            lines.append(
+                f"  {row['path']:<44} {row['count']:>6} "
+                f"{_fmt_s(float(row['total_s'])):>9} "
+                f"{_fmt_s(float(row['max_s'])):>9}"
+            )
+        lines.append("")
+
+    _timeline_section(payload, lines)
+    lines.append("")
+
+    events: List[Mapping[str, Any]] = list(payload.get("events") or [])
+    if extra_events:
+        events.extend(extra_events)
+    events.sort(key=lambda r: (r.get("ts") or 0.0))
+    _events_section(events, lines)
+    return "\n".join(lines)

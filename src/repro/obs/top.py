@@ -1,0 +1,155 @@
+"""Live cluster top: tail a queue spool's per-worker event logs.
+
+``python -m repro.obs top --spool DIR`` polls the durable JSONL event logs
+queue workers append under ``<spool>/events/<worker>.jsonl`` (plus the
+spool's task/claim/result directories) and prints per-worker claimed/done/
+failed counts, task rates over the refresh window, and queue depths — a
+``top(1)`` for an in-flight distributed run, needing nothing but read
+access to the shared spool.
+
+The module only *reads*; it never touches recorder state, so pointing it
+at a live production spool is safe.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Dict, Mapping, Optional
+
+from repro.obs import recorder
+
+#: Spool subdirectory layout (mirrors repro.cluster.transport.SPOOL_DIRS;
+#: duplicated here so the read-only viewer needs no cluster import).
+EVENTS_SUBDIR = "events"
+QUEUE_SUBDIRS = ("tasks", "claimed", "results", "workers")
+
+#: A worker whose liveness file is older than this many seconds is shown
+#: as gone (matches the transport's generous default lease scale).
+LIVENESS_STALE_S = 30.0
+
+#: Worker event kinds tallied per worker.
+_TALLY_KINDS = ("task_claimed", "task_done", "task_failed", "chaos_injected")
+
+
+def spool_snapshot(spool: str) -> Dict[str, Any]:
+    """One point-in-time view of a spool: per-worker tallies + queue depths."""
+    workers: Dict[str, Dict[str, Any]] = {}
+    events_dir = os.path.join(spool, EVENTS_SUBDIR)
+    if os.path.isdir(events_dir):
+        for name in sorted(os.listdir(events_dir)):
+            if not name.endswith(".jsonl"):
+                continue
+            worker_id = name[: -len(".jsonl")]
+            records = recorder.read_events(os.path.join(events_dir, name))
+            stats: Dict[str, Any] = {kind: 0 for kind in _TALLY_KINDS}
+            stats["exit_reason"] = None
+            last: Optional[Mapping[str, Any]] = None
+            for record in records:
+                kind = record.get("kind")
+                if kind in stats and isinstance(stats.get(kind), int):
+                    stats[kind] += 1
+                if kind == "worker_exit":
+                    stats["exit_reason"] = record.get("reason")
+                last = record
+            stats["last_kind"] = last.get("kind") if last else None
+            stats["last_ts"] = last.get("ts") if last else None
+            workers[worker_id] = stats
+    liveness_dir = os.path.join(spool, "workers")
+    now = time.time()
+    if os.path.isdir(liveness_dir):
+        for name in os.listdir(liveness_dir):
+            stats = workers.setdefault(
+                name, {kind: 0 for kind in _TALLY_KINDS}
+            )
+            try:
+                age = now - os.path.getmtime(os.path.join(liveness_dir, name))
+            except OSError:
+                continue
+            stats["alive"] = age < LIVENESS_STALE_S
+            stats["heartbeat_age_s"] = age
+    depths = {}
+    for sub in QUEUE_SUBDIRS:
+        directory = os.path.join(spool, sub)
+        try:
+            depths[sub] = len(os.listdir(directory))
+        except OSError:
+            depths[sub] = 0
+    return {"workers": workers, "depths": depths, "ts": now}
+
+
+def render_snapshot(
+    snap: Mapping[str, Any], previous: Optional[Mapping[str, Any]] = None
+) -> str:
+    """Render one snapshot; rates come from the delta to ``previous``."""
+    lines = []
+    depths = snap["depths"]
+    lines.append(
+        f"spool: tasks {depths.get('tasks', 0)} | claimed {depths.get('claimed', 0)} "
+        f"| results {depths.get('results', 0)} | workers {depths.get('workers', 0)}"
+    )
+    header = (
+        f"{'worker':<26} {'state':<8} {'claimed':>7} {'done':>5} "
+        f"{'failed':>6} {'chaos':>5} {'rate/s':>7}  last event"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    prev_workers = (previous or {}).get("workers", {})
+    elapsed = None
+    if previous is not None:
+        elapsed = max(float(snap["ts"]) - float(previous["ts"]), 1e-9)
+    for worker_id, stats in sorted(snap["workers"].items()):
+        if stats.get("exit_reason"):
+            state = f"exit:{stats['exit_reason']}"[:8]
+        elif stats.get("alive"):
+            state = "alive"
+        elif stats.get("alive") is False:
+            state = "stale"
+        else:
+            state = "gone"
+        rate = ""
+        if elapsed is not None:
+            before = prev_workers.get(worker_id, {})
+            delta = stats.get("task_done", 0) - before.get("task_done", 0)
+            rate = f"{delta / elapsed:.2f}"
+        lines.append(
+            f"{worker_id:<26} {state:<8} {stats.get('task_claimed', 0):>7} "
+            f"{stats.get('task_done', 0):>5} {stats.get('task_failed', 0):>6} "
+            f"{stats.get('chaos_injected', 0):>5} {rate:>7}  "
+            f"{stats.get('last_kind') or '-'}"
+        )
+    if not snap["workers"]:
+        lines.append("(no worker event logs yet)")
+    return "\n".join(lines)
+
+
+def run_top(
+    spool: str,
+    interval: float = 2.0,
+    iterations: Optional[int] = None,
+    out=print,
+) -> int:
+    """Poll ``spool`` and print a snapshot per tick.
+
+    ``iterations=None`` runs until interrupted (the interactive mode);
+    tests and CI smoke steps pass a small count.  Returns 0, or 1 when the
+    spool directory does not exist at all.
+    """
+    if not os.path.isdir(spool):
+        out(f"top: no such spool directory: {spool}")
+        return 1
+    previous: Optional[Dict[str, Any]] = None
+    count = 0
+    try:
+        while iterations is None or count < iterations:
+            if count:
+                time.sleep(interval)
+            snap = spool_snapshot(spool)
+            stamp = time.strftime("%H:%M:%S", time.localtime(snap["ts"]))
+            out(f"-- repro.obs top @ {stamp} ({spool})")
+            out(render_snapshot(snap, previous))
+            previous = snap
+            count += 1
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
+    return 0

@@ -13,6 +13,7 @@ def emit(result, circuit_name):
             "podem.backtracks": result.backtracks,
         }
     )
+    obs.counter("obs.intervals_dropped")  # timeline ring-buffer overflow
     with obs.span(f"fault_sim/{circuit_name}/words/grade"):
         pass
     with obs.span("runner/table1/collect"):

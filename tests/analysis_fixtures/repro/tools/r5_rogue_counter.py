@@ -8,5 +8,6 @@ def emit(result):
     obs.counter("cluster.not_in_manifest")  # parses but is undeclared
     obs.counter(f"runner.cell.{result.kind}")  # undeclared dynamic family
     obs.add_counters(result.stats, prefix="rogue.")  # undeclared prefix
+    obs.counter("obs.not_a_real_interval_counter")  # undeclared obs.* name
     with obs.span("bogus/root/path"):  # undeclared span root
         pass

@@ -109,7 +109,12 @@ class TestRecorder:
         obs.event("boom", detail="ignored")
         with obs.span("a/b"):
             pass
-        assert obs.snapshot() == {"counters": {}, "spans": {}, "events": []}
+        assert obs.snapshot() == {
+            "counters": {},
+            "spans": {},
+            "events": [],
+            "intervals": [],
+        }
 
     def test_null_span_is_shared(self):
         # The disabled hot path must not allocate per call.
@@ -234,7 +239,14 @@ class TestMetrics:
         (span,) = on_disk["spans"]
         assert span["path"] == "fault_sim/c/grade" and span["count"] == 1
         assert on_disk["events"][0]["kind"] == "lease_expired"
-        assert on_disk["meta"] == {"tool": "test"}
+        assert on_disk["meta"]["tool"] == "test"
+        # Schema 2: the meta block snapshots every set REPRO_* knob, and
+        # truncated records whether any ring-buffer cap dropped data.
+        assert "env" in on_disk["meta"]
+        assert on_disk["truncated"] is False
+        if not obs.timeline_enabled():  # off unless REPRO_TIMELINE=1 forces it
+            assert on_disk["intervals"] == []
+        assert sorted(on_disk["clock"]) == ["pid", "wall_anchor_s", "worker"]
 
     def test_maybe_write_without_path_is_noop(self, monkeypatch, tmp_path):
         monkeypatch.delenv(obs_metrics.METRICS_ENV_VAR, raising=False)
